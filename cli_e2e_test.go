@@ -1,0 +1,102 @@
+package pipefail
+
+// End-to-end test of the command-line tools: builds the binaries once and
+// drives the pipegen → pipetrain workflow the README documents, plus a
+// pipeeval experiment and a riskmap render. Skipped under -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every cmd/ binary into a temp dir and returns their
+// paths keyed by name.
+func buildCmds(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range []string{"pipegen", "pipetrain", "pipeeval", "riskmap"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	msg, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, msg)
+	}
+	return string(msg)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+	dataDir := filepath.Join(work, "regionA")
+
+	// 1. Generate a small region.
+	out := runCmd(t, bins["pipegen"], "-region", "A", "-seed", "3", "-scale", "0.04", "-out", dataDir)
+	if !strings.Contains(out, "generated region A") || !strings.Contains(out, "CWM") {
+		t.Fatalf("pipegen output:\n%s", out)
+	}
+	for _, f := range []string{"pipes.csv", "failures.csv", "meta.csv"} {
+		if _, err := os.Stat(filepath.Join(dataDir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	// 2. Train on it and persist the model.
+	modelPath := filepath.Join(work, "model.json")
+	out = runCmd(t, bins["pipetrain"],
+		"-data", dataDir, "-model", "DirectAUC-ES", "-esgens", "10",
+		"-top", "5", "-save", modelPath)
+	if !strings.Contains(out, "AUC") || !strings.Contains(out, "top 5 pipes") {
+		t.Fatalf("pipetrain output:\n%s", out)
+	}
+	if !strings.Contains(out, "top feature weights") {
+		t.Fatalf("pipetrain missing importance table:\n%s", out)
+	}
+	blob, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "DirectAUC-ES") {
+		t.Fatalf("persisted model malformed:\n%s", blob)
+	}
+
+	// 3. One cheap experiment through pipeeval.
+	out = runCmd(t, bins["pipeeval"],
+		"-exp", "T1", "-scale", "0.04", "-regions", "A")
+	if !strings.Contains(out, "T1: pipe network") {
+		t.Fatalf("pipeeval output:\n%s", out)
+	}
+
+	// 4. Risk map SVG.
+	svgPath := filepath.Join(work, "map.svg")
+	out = runCmd(t, bins["riskmap"],
+		"-region", "A", "-model", "Heuristic-Age", "-scale", "0.04", "-out", svgPath)
+	if !strings.Contains(out, "top-decile hit") {
+		t.Fatalf("riskmap output:\n%s", out)
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Fatal("riskmap did not produce an SVG")
+	}
+}

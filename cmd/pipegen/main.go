@@ -1,0 +1,65 @@
+// Command pipegen generates a synthetic metropolitan water-pipe network —
+// the documented substitution for the proprietary utility data of the
+// reproduced paper — and writes it as CSV (pipes.csv, failures.csv,
+// meta.csv).
+//
+// Usage:
+//
+//	pipegen -region A -seed 42 -scale 0.25 -out data/regionA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/synthetic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pipegen: ")
+
+	region := flag.String("region", "A", "region preset: A, B or C")
+	seed := flag.Int64("seed", 1, "generator seed")
+	scale := flag.Float64("scale", 1.0, "network scale in (0, 1]; 1 = full paper size")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg, err := synthetic.Preset(*region, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err = cfg.Scaled(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, truth, err := synthetic.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.SaveDir(net, *out); err != nil {
+		log.Fatal(err)
+	}
+
+	tb := eval.NewTable(fmt.Sprintf("generated region %s (seed %d, scale %.2f) -> %s",
+		*region, *seed, *scale, *out),
+		"scope", "pipes", "failures", "laid", "km")
+	for _, row := range net.Summarize() {
+		tb.AddRow(row.Scope,
+			fmt.Sprintf("%d", row.NumPipes),
+			fmt.Sprintf("%d", row.NumFailures),
+			fmt.Sprintf("%d-%d", row.LaidFrom, row.LaidTo),
+			fmt.Sprintf("%.0f", row.TotalKM))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("true failures before recording noise: %d\n", truth.TrueFailures)
+}

@@ -1,0 +1,64 @@
+// Command pipeserve runs the HTTP risk service over a network: rankings,
+// per-pipe risk lookups, and budget-constrained inspection plans as JSON.
+//
+// Usage:
+//
+//	pipeserve -data data/regionA -addr :8080
+//	pipeserve -region B -scale 0.25 -addr :8080     # synthetic network
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /api/network
+//	GET  /api/models
+//	POST /api/models/{name}/train
+//	GET  /api/models/{name}/ranking?top=N
+//	GET  /api/pipes/{id}
+//	POST /api/plan  {"model": "...", "budget_km": 10}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pipeserve: ")
+
+	data := flag.String("data", "", "network directory (pipes.csv/failures.csv/meta.csv)")
+	region := flag.String("region", "A", "synthetic region preset when -data is unset")
+	seed := flag.Int64("seed", 1, "generator / learner seed")
+	scale := flag.Float64("scale", 0.25, "synthetic region scale")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	var net *pipefail.Network
+	var err error
+	if *data != "" {
+		net, err = pipefail.LoadNetwork(*data)
+	} else {
+		net, err = pipefail.GenerateRegion(*region, *seed, *scale)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving region %s: %d pipes, %d failures", net.Region, net.NumPipes(), net.NumFailures())
+
+	s, err := serve.New(net, log.Default(), pipefail.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/feature"
+)
+
+// AgeRateForm selects the functional form of an aggregate age-rate model.
+type AgeRateForm int
+
+const (
+	// TimeExponential is the Shamir–Howard (1979) model:
+	// rate(age) = A·exp(B·age), failures per pipe-year.
+	TimeExponential AgeRateForm = iota
+	// TimePower is the Mavin (1996) style model: rate(age) = A·(age+1)^B.
+	TimePower
+	// TimeLinear is the Kettler–Goulter (1985) model: rate(age) = A + B·age.
+	TimeLinear
+)
+
+// String returns the model's display name.
+func (f AgeRateForm) String() string {
+	switch f {
+	case TimeExponential:
+		return "TimeExp"
+	case TimePower:
+		return "TimePower"
+	case TimeLinear:
+		return "TimeLinear"
+	default:
+		return fmt.Sprintf("AgeRateForm(%d)", int(f))
+	}
+}
+
+// AgeRateModel is the family of classical aggregate models that regress the
+// network-wide failure rate on pipe age alone, then score a pipe by its
+// age-rate times its length exposure. These are the earliest statistical
+// pipe models and the weakest baselines in the comparison.
+type AgeRateModel struct {
+	Form AgeRateForm
+	// A and B are the fitted curve parameters.
+	A, B   float64
+	fitted bool
+}
+
+// NewAgeRateModel returns an unfitted aggregate model of the given form.
+func NewAgeRateModel(form AgeRateForm) *AgeRateModel {
+	return &AgeRateModel{Form: form}
+}
+
+// Name implements core.Model.
+func (m *AgeRateModel) Name() string { return m.Form.String() }
+
+// Fit implements core.Model. Pipe-year instances are bucketed by integer
+// age; the empirical failure rate per bucket is regressed on age with
+// exposure-weighted least squares in the form-appropriate transform.
+func (m *AgeRateModel) Fit(train *feature.Set) error {
+	if train == nil || train.Len() == 0 {
+		return fmt.Errorf("%s: empty training set", m.Name())
+	}
+	if train.Positives() == 0 {
+		return fmt.Errorf("%s: no failures in training window", m.Name())
+	}
+	// Bucket exposures and failures by integer age.
+	maxAge := 0
+	for _, a := range train.Age {
+		if int(a) > maxAge {
+			maxAge = int(a)
+		}
+	}
+	exposure := make([]float64, maxAge+1)
+	failures := make([]float64, maxAge+1)
+	for i, a := range train.Age {
+		b := int(a)
+		exposure[b]++
+		if train.Label[i] {
+			failures[b]++
+		}
+	}
+
+	// Weighted least squares on the transformed rate.
+	var sw, swx, swy, swxx, swxy float64
+	for age := 0; age <= maxAge; age++ {
+		if exposure[age] < 5 {
+			continue // too little exposure to estimate a rate
+		}
+		rate := failures[age] / exposure[age]
+		x, y, ok := m.transform(float64(age), rate)
+		if !ok {
+			continue
+		}
+		w := exposure[age]
+		sw += w
+		swx += w * x
+		swy += w * y
+		swxx += w * x * x
+		swxy += w * x * y
+	}
+	det := sw*swxx - swx*swx
+	if sw == 0 || math.Abs(det) < 1e-12 {
+		return fmt.Errorf("%s: degenerate age-rate regression", m.Name())
+	}
+	slope := (sw*swxy - swx*swy) / det
+	inter := (swy - slope*swx) / sw
+	switch m.Form {
+	case TimeExponential, TimePower:
+		m.A = math.Exp(inter)
+		m.B = slope
+	case TimeLinear:
+		m.A = inter
+		m.B = slope
+	default:
+		return fmt.Errorf("%s: unknown form", m.Name())
+	}
+	m.fitted = true
+	return nil
+}
+
+// transform maps (age, rate) to the linear regression space of the form.
+// ok=false drops the bucket (e.g. zero rate under a log transform).
+func (m *AgeRateModel) transform(age, rate float64) (x, y float64, ok bool) {
+	const eps = 1e-6
+	switch m.Form {
+	case TimeExponential:
+		return age, math.Log(rate + eps), true
+	case TimePower:
+		return math.Log(age + 1), math.Log(rate + eps), true
+	case TimeLinear:
+		return age, rate, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// Rate returns the fitted failure rate at the given age (clamped at 0).
+func (m *AgeRateModel) Rate(age float64) float64 {
+	var r float64
+	switch m.Form {
+	case TimeExponential:
+		r = m.A * math.Exp(m.B*age)
+	case TimePower:
+		r = m.A * math.Pow(age+1, m.B)
+	case TimeLinear:
+		r = m.A + m.B*age
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Scores implements core.Model; a pipe's score is its age-rate scaled by
+// length exposure (longer pipes of the same age are proportionally riskier).
+func (m *AgeRateModel) Scores(test *feature.Set) ([]float64, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("%s: %w", m.Name(), ErrNotFitted)
+	}
+	out := make([]float64, test.Len())
+	for i := range out {
+		out[i] = m.Rate(test.Age[i]) * test.LengthM[i] / 100
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Calibrator maps raw ranking scores to failure probabilities. Ranking
+// models only order pipes; when a renewal-cost model needs probabilities,
+// a calibrator fitted on held-out (score, label) pairs provides them.
+type Calibrator interface {
+	// Name identifies the calibration method.
+	Name() string
+	// FitCal fits the mapping on scores with binary outcomes.
+	FitCal(scores []float64, labels []bool) error
+	// Prob maps a raw score to a probability in [0, 1].
+	Prob(score float64) float64
+}
+
+// PlattCalibrator fits P(y=1|s) = sigmoid(a·s + b) by Newton iterations on
+// the log-likelihood (logistic regression in one dimension).
+type PlattCalibrator struct {
+	A, B   float64
+	fitted bool
+}
+
+// Name implements Calibrator.
+func (p *PlattCalibrator) Name() string { return "platt" }
+
+// FitCal implements Calibrator.
+func (p *PlattCalibrator) FitCal(scores []float64, labels []bool) error {
+	if len(scores) != len(labels) {
+		return fmt.Errorf("core: platt length mismatch %d vs %d", len(scores), len(labels))
+	}
+	if len(scores) < 2 {
+		return fmt.Errorf("core: platt needs at least 2 points")
+	}
+	// Standardize scores internally for stable Newton steps.
+	mean := stats.Mean(scores)
+	sd := stats.StdDev(scores)
+	if sd == 0 {
+		return fmt.Errorf("core: platt with constant scores")
+	}
+	zs := make([]float64, len(scores))
+	for i, s := range scores {
+		zs[i] = (s - mean) / sd
+	}
+	a, b := 1.0, 0.0
+	for iter := 0; iter < 50; iter++ {
+		var ga, gb, haa, hab, hbb float64
+		for i, z := range zs {
+			mu := stats.Logistic(a*z + b)
+			y := 0.0
+			if labels[i] {
+				y = 1
+			}
+			d := y - mu
+			wgt := mu * (1 - mu)
+			ga += d * z
+			gb += d
+			haa += wgt * z * z
+			hab += wgt * z
+			hbb += wgt
+		}
+		// Solve 2x2 system (H + ridge) step = grad.
+		haa += 1e-9
+		hbb += 1e-9
+		det := haa*hbb - hab*hab
+		if det <= 1e-18 {
+			break
+		}
+		da := (ga*hbb - gb*hab) / det
+		db := (gb*haa - ga*hab) / det
+		a += da
+		b += db
+		if math.Abs(da)+math.Abs(db) < 1e-10 {
+			break
+		}
+	}
+	// Fold the standardization back into the parameters.
+	p.A = a / sd
+	p.B = b - a*mean/sd
+	p.fitted = true
+	return nil
+}
+
+// Prob implements Calibrator. It returns 0.5 before fitting.
+func (p *PlattCalibrator) Prob(score float64) float64 {
+	if !p.fitted {
+		return 0.5
+	}
+	return stats.Logistic(p.A*score + p.B)
+}
+
+// IsotonicCalibrator fits a monotone non-decreasing step function by the
+// pool-adjacent-violators algorithm (PAV) — the nonparametric calibration
+// that preserves the model's ranking exactly.
+type IsotonicCalibrator struct {
+	// thresholds and values define the step function: Prob(s) is the value
+	// of the last block whose threshold is <= s.
+	thresholds []float64
+	values     []float64
+}
+
+// Name implements Calibrator.
+func (c *IsotonicCalibrator) Name() string { return "isotonic" }
+
+// FitCal implements Calibrator.
+func (c *IsotonicCalibrator) FitCal(scores []float64, labels []bool) error {
+	if len(scores) != len(labels) {
+		return fmt.Errorf("core: isotonic length mismatch %d vs %d", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return fmt.Errorf("core: isotonic with no data")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// PAV over blocks (value = mean label, weight = count).
+	type block struct {
+		value  float64
+		weight float64
+		minS   float64
+	}
+	blocks := make([]block, 0, len(scores))
+	for _, i := range idx {
+		y := 0.0
+		if labels[i] {
+			y = 1
+		}
+		blocks = append(blocks, block{value: y, weight: 1, minS: scores[i]})
+		for len(blocks) > 1 && blocks[len(blocks)-2].value >= blocks[len(blocks)-1].value {
+			b2 := blocks[len(blocks)-1]
+			b1 := blocks[len(blocks)-2]
+			merged := block{
+				value:  (b1.value*b1.weight + b2.value*b2.weight) / (b1.weight + b2.weight),
+				weight: b1.weight + b2.weight,
+				minS:   b1.minS,
+			}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, merged)
+		}
+	}
+	c.thresholds = c.thresholds[:0]
+	c.values = c.values[:0]
+	for _, b := range blocks {
+		c.thresholds = append(c.thresholds, b.minS)
+		c.values = append(c.values, b.value)
+	}
+	return nil
+}
+
+// Prob implements Calibrator. Scores below the first block get the first
+// block's value; it returns 0.5 before fitting.
+func (c *IsotonicCalibrator) Prob(score float64) float64 {
+	if len(c.thresholds) == 0 {
+		return 0.5
+	}
+	// Binary search for the last threshold <= score.
+	lo, hi := 0, len(c.thresholds)-1
+	if score < c.thresholds[0] {
+		return c.values[0]
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.thresholds[mid] <= score {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return c.values[lo]
+}

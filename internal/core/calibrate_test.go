@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// calibrationData draws scores and labels from a known sigmoid model.
+func calibrationData(seed int64, n int) (scores []float64, labels []bool) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		s := rng.Normal(0, 2)
+		p := stats.Logistic(1.5*s - 0.5)
+		scores = append(scores, s)
+		labels = append(labels, rng.Bernoulli(p))
+	}
+	return scores, labels
+}
+
+func TestPlattRecoversSigmoid(t *testing.T) {
+	scores, labels := calibrationData(1, 5000)
+	var c PlattCalibrator
+	if err := c.FitCal(scores, labels); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.A, 1.5, 0.15) {
+		t.Fatalf("A = %v, want about 1.5", c.A)
+	}
+	if !almostEqual(c.B, -0.5, 0.15) {
+		t.Fatalf("B = %v, want about -0.5", c.B)
+	}
+	if p := c.Prob(0); p <= 0 || p >= 1 {
+		t.Fatalf("Prob(0) = %v", p)
+	}
+}
+
+func TestPlattErrors(t *testing.T) {
+	var c PlattCalibrator
+	if err := c.FitCal([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := c.FitCal([]float64{1}, []bool{true}); err == nil {
+		t.Fatal("too few points must error")
+	}
+	if err := c.FitCal([]float64{2, 2, 2}, []bool{true, false, true}); err == nil {
+		t.Fatal("constant scores must error")
+	}
+	if c.Prob(1) != 0.5 {
+		t.Fatal("unfitted Prob must be 0.5")
+	}
+}
+
+func TestIsotonicMonotoneAndCalibrated(t *testing.T) {
+	scores, labels := calibrationData(2, 3000)
+	var c IsotonicCalibrator
+	if err := c.FitCal(scores, labels); err != nil {
+		t.Fatal(err)
+	}
+	// Monotone in score.
+	prev := -1.0
+	for s := -6.0; s <= 6.0; s += 0.25 {
+		p := c.Prob(s)
+		if p < prev-1e-12 {
+			t.Fatalf("isotonic not monotone at %v: %v < %v", s, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+		prev = p
+	}
+	// Mean predicted probability must match the base rate (calibration
+	// in the large).
+	sum := 0.0
+	posRate := 0.0
+	for i, s := range scores {
+		sum += c.Prob(s)
+		if labels[i] {
+			posRate++
+		}
+	}
+	sum /= float64(len(scores))
+	posRate /= float64(len(labels))
+	if !almostEqual(sum, posRate, 0.01) {
+		t.Fatalf("mean prob %v vs base rate %v", sum, posRate)
+	}
+}
+
+func TestIsotonicEdgeCases(t *testing.T) {
+	var c IsotonicCalibrator
+	if err := c.FitCal(nil, nil); err == nil {
+		t.Fatal("empty must error")
+	}
+	if err := c.FitCal([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("mismatch must error")
+	}
+	if c.Prob(3) != 0.5 {
+		t.Fatal("unfitted Prob must be 0.5")
+	}
+	// Perfectly separated data → step from 0 to 1.
+	if err := c.FitCal([]float64{1, 2, 3, 4}, []bool{false, false, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(0) != 0 || c.Prob(5) != 1 {
+		t.Fatalf("step values: %v, %v", c.Prob(0), c.Prob(5))
+	}
+	// Below-range scores get the first block.
+	if c.Prob(-100) != 0 {
+		t.Fatal("below-range must clamp to first block")
+	}
+}
+
+func TestIsotonicPreservesRanking(t *testing.T) {
+	scores, labels := calibrationData(3, 500)
+	var c IsotonicCalibrator
+	if err := c.FitCal(scores, labels); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(scores); i++ {
+		a, b := scores[i-1], scores[i]
+		if a < b && c.Prob(a) > c.Prob(b) {
+			t.Fatal("isotonic broke the ranking")
+		}
+	}
+}
+
+func TestSaveLoadLinearRoundTrip(t *testing.T) {
+	train := gaussianSet(51, 300, 0.2, 2, 4)
+	m := NewDirectAUC(DirectAUCConfig{Seed: 7, Generations: 10})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d"}
+	var buf bytes.Buffer
+	if err := SaveLinear(&buf, m, names); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := LoadLinear(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Kind != "DirectAUC-ES" || len(meta.Weights) != 4 {
+		t.Fatalf("meta %+v", meta)
+	}
+	la := loaded.(*DirectAUC)
+	for i := range la.W {
+		if la.W[i] != m.W[i] {
+			t.Fatal("weights differ after round trip")
+		}
+	}
+	// Loaded model scores identically.
+	s1, err := m.Scores(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := loaded.Scores(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("scores differ after round trip")
+		}
+	}
+}
+
+func TestSaveLinearRankSVM(t *testing.T) {
+	train := gaussianSet(52, 200, 0.3, 2, 3)
+	m := NewRankSVM(RankSVMConfig{Seed: 1, Epochs: 2})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveLinear(&buf, m, []string{"x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := LoadLinear(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != "RankSVM" || meta.Kind != "RankSVM" {
+		t.Fatal("kind mismatch")
+	}
+}
+
+func TestSaveLinearErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveLinear(&buf, NewDirectAUC(DirectAUCConfig{}), nil); err == nil {
+		t.Fatal("unfitted save must error")
+	}
+	if err := SaveLinear(&buf, NewRankSVM(RankSVMConfig{}), nil); err == nil {
+		t.Fatal("unfitted RankSVM save must error")
+	}
+	if err := SaveLinear(&buf, NewRankBoost(RankBoostConfig{}), nil); err == nil {
+		t.Fatal("non-linear model must error")
+	}
+	train := gaussianSet(1, 100, 0.3, 2, 3)
+	m := NewRankSVM(RankSVMConfig{Seed: 1, Epochs: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLinear(&buf, m, []string{"onlyone"}); err == nil {
+		t.Fatal("name/weight count mismatch must error")
+	}
+}
+
+func TestLoadLinearErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"format": 2, "kind": "RankSVM", "weights": [1], "feature_names": ["a"]}`,
+		`{"format": 1, "kind": "RankSVM", "weights": [], "feature_names": []}`,
+		`{"format": 1, "kind": "RankSVM", "weights": [1,2], "feature_names": ["a"]}`,
+		`{"format": 1, "kind": "Mystery", "weights": [1], "feature_names": ["a"]}`,
+	}
+	for i, c := range cases {
+		if _, _, err := LoadLinear(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d must error", i)
+		}
+	}
+}

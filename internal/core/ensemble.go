@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/feature"
+	"repro/internal/stats"
+)
+
+// Ensemble fuses the rankings of several base models by averaging their
+// normalized ranks (Borda-count fusion). Rank fusion is scale-free — it
+// combines models whose scores live on incompatible scales (probabilities,
+// expected counts, margins) without calibration, and inherits robustness:
+// a single misbehaving base model can shift an item by at most 1/k of the
+// ranking.
+type Ensemble struct {
+	// Base holds the member models (fitted by Fit).
+	Base []Model
+	// Weights optionally weights each member's rank contribution;
+	// nil means uniform.
+	Weights []float64
+	fitted  bool
+}
+
+// NewEnsemble returns an unfitted ensemble over the given members.
+// Weights may be nil (uniform); otherwise it must match the member count
+// and be non-negative with a positive sum (checked at Fit).
+func NewEnsemble(weights []float64, base ...Model) *Ensemble {
+	return &Ensemble{Base: base, Weights: weights}
+}
+
+// Name implements Model.
+func (e *Ensemble) Name() string { return "Ensemble" }
+
+// Fit implements Model: it fits every member on the same training set.
+func (e *Ensemble) Fit(train *feature.Set) error {
+	if len(e.Base) == 0 {
+		return fmt.Errorf("%s: no base models", e.Name())
+	}
+	if e.Weights != nil {
+		if len(e.Weights) != len(e.Base) {
+			return fmt.Errorf("%s: %d weights for %d members", e.Name(), len(e.Weights), len(e.Base))
+		}
+		sum := 0.0
+		for _, w := range e.Weights {
+			if w < 0 {
+				return fmt.Errorf("%s: negative weight %v", e.Name(), w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("%s: weights sum to zero", e.Name())
+		}
+	}
+	for _, m := range e.Base {
+		if err := m.Fit(train); err != nil {
+			return fmt.Errorf("%s: member %s: %w", e.Name(), m.Name(), err)
+		}
+	}
+	e.fitted = true
+	return nil
+}
+
+// Scores implements Model: each member's scores are converted to
+// normalized fractional ranks in [0, 1] (ties averaged) and combined by
+// weighted mean.
+func (e *Ensemble) Scores(test *feature.Set) ([]float64, error) {
+	if !e.fitted {
+		return nil, fmt.Errorf("%s: Scores before Fit", e.Name())
+	}
+	n := test.Len()
+	fused := make([]float64, n)
+	totalW := 0.0
+	for i, m := range e.Base {
+		w := 1.0
+		if e.Weights != nil {
+			w = e.Weights[i]
+		}
+		if w == 0 {
+			continue
+		}
+		scores, err := m.Scores(test)
+		if err != nil {
+			return nil, fmt.Errorf("%s: member %s: %w", e.Name(), m.Name(), err)
+		}
+		ranks := stats.Ranks(scores) // 1..n, ties averaged
+		for j, r := range ranks {
+			fused[j] += w * (r - 1) / float64(n-1+1) // normalize to [0,1)
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		return nil, fmt.Errorf("%s: all member weights are zero", e.Name())
+	}
+	for j := range fused {
+		fused[j] /= totalW
+	}
+	return fused, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FeatureWeight pairs a design-matrix column with its learned weight.
+type FeatureWeight struct {
+	Name   string
+	Weight float64
+}
+
+// Importance returns the feature weights of a linear scoring function
+// sorted by absolute magnitude (largest first) — the interpretability
+// report the application side of the paper needs: which attributes drive
+// the ranking. Because features are standardized before training, weight
+// magnitudes are directly comparable.
+func Importance(names []string, w []float64) ([]FeatureWeight, error) {
+	if len(names) != len(w) {
+		return nil, fmt.Errorf("core: %d names for %d weights", len(names), len(w))
+	}
+	out := make([]FeatureWeight, len(w))
+	for i := range w {
+		out[i] = FeatureWeight{Name: names[i], Weight: w[i]}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		wa, wb := out[a].Weight, out[b].Weight
+		if wa < 0 {
+			wa = -wa
+		}
+		if wb < 0 {
+			wb = -wb
+		}
+		return wa > wb
+	})
+	return out, nil
+}
+
+// LinearWeights extracts the weight vector of a fitted linear ranker
+// (DirectAUC or RankSVM); ok is false for other model types or unfitted
+// models.
+func LinearWeights(m Model) (w []float64, ok bool) {
+	switch v := m.(type) {
+	case *DirectAUC:
+		return v.W, v.W != nil
+	case *RankSVM:
+		return v.W, v.W != nil
+	default:
+		return nil, false
+	}
+}

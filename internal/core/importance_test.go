@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestImportanceSortsByMagnitude(t *testing.T) {
+	names := []string{"small", "big-neg", "mid", "zero"}
+	w := []float64{0.1, -3, 1.5, 0}
+	imps, err := Importance(names, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"big-neg", "mid", "small", "zero"}
+	for i, want := range wantOrder {
+		if imps[i].Name != want {
+			t.Fatalf("order %v", imps)
+		}
+	}
+	if imps[0].Weight != -3 {
+		t.Fatal("weight value lost")
+	}
+	if _, err := Importance(names, w[:2]); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestLinearWeights(t *testing.T) {
+	if _, ok := LinearWeights(NewDirectAUC(DirectAUCConfig{})); ok {
+		t.Fatal("unfitted DirectAUC must not expose weights")
+	}
+	train := gaussianSet(101, 200, 0.3, 2, 3)
+	m := NewRankSVM(RankSVMConfig{Seed: 1, Epochs: 2})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := LinearWeights(m)
+	if !ok || len(w) != 3 {
+		t.Fatalf("weights %v ok=%v", w, ok)
+	}
+	if _, ok := LinearWeights(NewRankBoost(RankBoostConfig{})); ok {
+		t.Fatal("RankBoost is not linear")
+	}
+}
+
+func TestImportanceFindsInformativeFeature(t *testing.T) {
+	// Features 0 and 1 carry the signal in gaussianSet; after fitting, the
+	// top-2 importance entries must include feature index 0.
+	train := gaussianSet(102, 1000, 0.2, 3, 6)
+	m := NewDirectAUC(DirectAUCConfig{Seed: 2, Generations: 30})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+	imps, err := Importance(names, m.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imps[0].Name != "f0" && imps[1].Name != "f0" {
+		t.Fatalf("f0 not among top weights: %v", imps)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SavedModel is the on-disk representation of a fitted linear ranker,
+// versioned so future formats can coexist.
+type SavedModel struct {
+	// Format is the schema version (currently 1).
+	Format int `json:"format"`
+	// Kind is the model name (DirectAUC-ES or RankSVM).
+	Kind string `json:"kind"`
+	// FeatureNames documents the column order the weights apply to.
+	FeatureNames []string `json:"feature_names"`
+	// Weights is the linear scoring vector.
+	Weights []float64 `json:"weights"`
+	// TrainAUC records the training AUC at save time (0 when unknown).
+	TrainAUC float64 `json:"train_auc,omitempty"`
+}
+
+// SaveLinear serializes a fitted linear model (DirectAUC or RankSVM) as
+// JSON. featureNames must match the training builder's column order.
+func SaveLinear(w io.Writer, m Model, featureNames []string) error {
+	var sm SavedModel
+	sm.Format = 1
+	sm.FeatureNames = featureNames
+	switch v := m.(type) {
+	case *DirectAUC:
+		if v.W == nil {
+			return fmt.Errorf("core: save of unfitted %s", v.Name())
+		}
+		sm.Kind = v.Name()
+		sm.Weights = v.W
+		sm.TrainAUC = v.TrainAUC
+	case *RankSVM:
+		if v.W == nil {
+			return fmt.Errorf("core: save of unfitted %s", v.Name())
+		}
+		sm.Kind = v.Name()
+		sm.Weights = v.W
+	default:
+		return fmt.Errorf("core: model %s is not a persistable linear ranker", m.Name())
+	}
+	if len(sm.FeatureNames) != len(sm.Weights) {
+		return fmt.Errorf("core: %d feature names for %d weights", len(sm.FeatureNames), len(sm.Weights))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sm); err != nil {
+		return fmt.Errorf("core: encode model: %w", err)
+	}
+	return nil
+}
+
+// LoadLinear deserializes a model saved by SaveLinear. The returned model
+// is ready to score feature sets whose columns match FeatureNames.
+func LoadLinear(r io.Reader) (Model, *SavedModel, error) {
+	var sm SavedModel
+	if err := json.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if sm.Format != 1 {
+		return nil, nil, fmt.Errorf("core: unsupported model format %d", sm.Format)
+	}
+	if len(sm.Weights) == 0 {
+		return nil, nil, fmt.Errorf("core: model has no weights")
+	}
+	if len(sm.FeatureNames) != len(sm.Weights) {
+		return nil, nil, fmt.Errorf("core: %d feature names for %d weights", len(sm.FeatureNames), len(sm.Weights))
+	}
+	switch sm.Kind {
+	case "DirectAUC-ES":
+		m := NewDirectAUC(DirectAUCConfig{})
+		m.W = sm.Weights
+		m.TrainAUC = sm.TrainAUC
+		return m, &sm, nil
+	case "RankSVM":
+		m := NewRankSVM(RankSVMConfig{})
+		m.W = sm.Weights
+		return m, &sm, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown model kind %q", sm.Kind)
+	}
+}

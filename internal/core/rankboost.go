@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/feature"
+)
+
+// RankBoostConfig tunes the bipartite RankBoost learner.
+type RankBoostConfig struct {
+	// Rounds is the number of boosting rounds (default 100).
+	Rounds int
+	// Thresholds is the number of candidate thresholds examined per
+	// feature per round (default 16 quantile cuts).
+	Thresholds int
+}
+
+func (c *RankBoostConfig) fillDefaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.Thresholds <= 0 {
+		c.Thresholds = 16
+	}
+}
+
+// stump is a threshold weak ranker: h(x) = 1 if x[featureIdx] > threshold
+// (or <= when inverted), else 0.
+type stump struct {
+	FeatureIdx int
+	Threshold  float64
+	Inverted   bool
+	Alpha      float64
+}
+
+func (s stump) eval(x []float64) float64 {
+	above := x[s.FeatureIdx] > s.Threshold
+	if above != s.Inverted {
+		return 1
+	}
+	return 0
+}
+
+// RankBoost implements the bipartite variant of Freund et al.'s RankBoost:
+// the pair distribution factorizes into per-instance potentials v⁺ and v⁻,
+// so each round runs in O(instances × features × thresholds) instead of
+// O(pairs). Weak rankers are threshold stumps on single features.
+type RankBoost struct {
+	cfg    RankBoostConfig
+	stumps []stump
+}
+
+// NewRankBoost returns an unfitted RankBoost.
+func NewRankBoost(cfg RankBoostConfig) *RankBoost {
+	cfg.fillDefaults()
+	return &RankBoost{cfg: cfg}
+}
+
+// Name implements Model.
+func (m *RankBoost) Name() string { return "RankBoost" }
+
+// Rounds returns the number of fitted weak rankers.
+func (m *RankBoost) Rounds() int { return len(m.stumps) }
+
+// Fit implements Model.
+func (m *RankBoost) Fit(train *feature.Set) error {
+	if err := validateFitInputs(train); err != nil {
+		return fmt.Errorf("%s: %w", m.Name(), err)
+	}
+	pos, neg := splitByLabel(train)
+	dim := train.Dim()
+
+	// Candidate thresholds per feature from quantiles of the training
+	// values (computed once).
+	cuts := make([][]float64, dim)
+	vals := make([]float64, train.Len())
+	for j := 0; j < dim; j++ {
+		for i, row := range train.X {
+			vals[i] = row[j]
+		}
+		cuts[j] = quantileCuts(vals, m.cfg.Thresholds)
+	}
+
+	// Potentials over positives and negatives; pair weight = vPos[i]*vNeg[j].
+	vPos := make([]float64, len(pos))
+	vNeg := make([]float64, len(neg))
+	for i := range vPos {
+		vPos[i] = 1 / float64(len(pos))
+	}
+	for j := range vNeg {
+		vNeg[j] = 1 / float64(len(neg))
+	}
+
+	m.stumps = m.stumps[:0]
+	for round := 0; round < m.cfg.Rounds; round++ {
+		best, bestR := stump{}, 0.0
+		// r(h) = Σ_i vPos[i] h(x_i) − Σ_j vNeg[j] h(x_j); maximize |r|.
+		for j := 0; j < dim; j++ {
+			for _, c := range cuts[j] {
+				r := 0.0
+				for k, i := range pos {
+					if train.X[i][j] > c {
+						r += vPos[k]
+					}
+				}
+				for k, i := range neg {
+					if train.X[i][j] > c {
+						r -= vNeg[k]
+					}
+				}
+				// Σ vPos = Σ vNeg after normalization, so the inverted
+				// stump has ratio −r; searching |r| covers both.
+				if math.Abs(r) > math.Abs(bestR) {
+					bestR = r
+					best = stump{FeatureIdx: j, Threshold: c, Inverted: r < 0}
+				}
+			}
+		}
+		absR := math.Abs(bestR)
+		if absR < 1e-9 || absR >= 1 {
+			// No discriminative stump left (or degenerate perfect split on
+			// the reweighted distribution); stop early.
+			if absR >= 1 {
+				best.Alpha = 4 // cap: alpha = 0.5 ln((1+r)/(1-r)) → ∞
+				m.stumps = append(m.stumps, best)
+			}
+			break
+		}
+		best.Alpha = 0.5 * math.Log((1+absR)/(1-absR))
+		m.stumps = append(m.stumps, best)
+
+		// Update potentials: vPos *= exp(−α h(x)), vNeg *= exp(+α h(x)).
+		for k, i := range pos {
+			vPos[k] *= math.Exp(-best.Alpha * best.eval(train.X[i]))
+		}
+		for k, i := range neg {
+			vNeg[k] *= math.Exp(best.Alpha * best.eval(train.X[i]))
+		}
+		normalize(vPos)
+		normalize(vNeg)
+	}
+	if len(m.stumps) == 0 {
+		return fmt.Errorf("%s: no discriminative weak ranker found", m.Name())
+	}
+	return nil
+}
+
+// Scores implements Model.
+func (m *RankBoost) Scores(test *feature.Set) ([]float64, error) {
+	if len(m.stumps) == 0 {
+		return nil, fmt.Errorf("%s: Scores before Fit", m.Name())
+	}
+	out := make([]float64, test.Len())
+	for i, row := range test.X {
+		s := 0.0
+		for _, st := range m.stumps {
+			s += st.Alpha * st.eval(row)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// quantileCuts returns up to k distinct interior quantile cut points of xs.
+func quantileCuts(xs []float64, k int) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var cuts []float64
+	for i := 1; i <= k; i++ {
+		q := float64(i) / float64(k+1)
+		v := s[int(q*float64(len(s)-1))]
+		if len(cuts) == 0 || v != cuts[len(cuts)-1] {
+			cuts = append(cuts, v)
+		}
+	}
+	return cuts
+}

@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CohortRow is one row of an exploratory cohort-statistics table: a slice
+// of the network (by material, age band, diameter band, …) with its
+// exposure and empirical failure rate.
+type CohortRow struct {
+	// Cohort labels the slice (e.g. "CICL", "age 40-49", "100-199mm").
+	Cohort string
+	// Pipes is the number of pipes ever in the cohort.
+	Pipes int
+	// PipeYears is the exposure: summed years each pipe spent in the
+	// cohort inside the observation window.
+	PipeYears float64
+	// KMYears is the length-weighted exposure in kilometre-years.
+	KMYears float64
+	// Failures is the number of recorded failures attributed to the cohort.
+	Failures int
+	// RatePerPipeYear is Failures / PipeYears.
+	RatePerPipeYear float64
+	// RatePer100KMYear is Failures per 100 km-years, the unit the early
+	// age-rate literature reports.
+	RatePer100KMYear float64
+}
+
+func finishRow(r *CohortRow) {
+	if r.PipeYears > 0 {
+		r.RatePerPipeYear = float64(r.Failures) / r.PipeYears
+	}
+	if r.KMYears > 0 {
+		r.RatePer100KMYear = float64(r.Failures) / r.KMYears * 100
+	}
+}
+
+// activeYears returns the number of observed years the pipe existed.
+func (n *Network) activeYears(p *Pipe) float64 {
+	from := n.ObservedFrom
+	if p.LaidYear > from {
+		from = p.LaidYear
+	}
+	years := n.ObservedTo - from + 1
+	if years < 0 {
+		return 0
+	}
+	return float64(years)
+}
+
+// CohortByMaterial returns failure statistics per material, sorted by
+// descending failure rate per pipe-year.
+func (n *Network) CohortByMaterial() []CohortRow {
+	rows := map[Material]*CohortRow{}
+	for i := range n.pipes {
+		p := &n.pipes[i]
+		r, ok := rows[p.Material]
+		if !ok {
+			r = &CohortRow{Cohort: string(p.Material)}
+			rows[p.Material] = r
+		}
+		y := n.activeYears(p)
+		r.Pipes++
+		r.PipeYears += y
+		r.KMYears += y * p.LengthM / 1000
+		r.Failures += n.FailureCount(p.ID, n.ObservedFrom, n.ObservedTo)
+	}
+	out := make([]CohortRow, 0, len(rows))
+	for _, r := range rows {
+		finishRow(r)
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RatePerPipeYear != out[j].RatePerPipeYear {
+			return out[i].RatePerPipeYear > out[j].RatePerPipeYear
+		}
+		return out[i].Cohort < out[j].Cohort
+	})
+	return out
+}
+
+// CohortByAgeBand returns failure statistics per pipe-age band of the
+// given width (in years). Exposure and failures are attributed to the band
+// the pipe was in during each observed year, so a pipe contributes to
+// several bands over a long window.
+func (n *Network) CohortByAgeBand(bandYears int) ([]CohortRow, error) {
+	if bandYears < 1 {
+		return nil, fmt.Errorf("dataset: age band width %d must be >= 1", bandYears)
+	}
+	type acc struct {
+		pipes     map[string]bool
+		pipeYears float64
+		kmYears   float64
+		failures  int
+	}
+	bands := map[int]*acc{}
+	get := func(b int) *acc {
+		a, ok := bands[b]
+		if !ok {
+			a = &acc{pipes: map[string]bool{}}
+			bands[b] = a
+		}
+		return a
+	}
+	for i := range n.pipes {
+		p := &n.pipes[i]
+		for year := maxInt(p.LaidYear, n.ObservedFrom); year <= n.ObservedTo; year++ {
+			b := int(p.AgeAt(year)) / bandYears
+			a := get(b)
+			a.pipes[p.ID] = true
+			a.pipeYears++
+			a.kmYears += p.LengthM / 1000
+		}
+	}
+	for _, f := range n.failures {
+		p, ok := n.PipeByID(f.PipeID)
+		if !ok {
+			continue
+		}
+		b := int(p.AgeAt(f.Year)) / bandYears
+		get(b).failures++
+	}
+	keys := make([]int, 0, len(bands))
+	for b := range bands {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	out := make([]CohortRow, 0, len(keys))
+	for _, b := range keys {
+		a := bands[b]
+		r := CohortRow{
+			Cohort:    fmt.Sprintf("age %d-%d", b*bandYears, (b+1)*bandYears-1),
+			Pipes:     len(a.pipes),
+			PipeYears: a.pipeYears,
+			KMYears:   a.kmYears,
+			Failures:  a.failures,
+		}
+		finishRow(&r)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// CohortByDiameterBand returns failure statistics per diameter band.
+// bounds are the ascending band upper limits in mm; a final open-ended
+// band is appended automatically.
+func (n *Network) CohortByDiameterBand(bounds []float64) ([]CohortRow, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("dataset: no diameter bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("dataset: diameter bounds not ascending at %d", i)
+		}
+	}
+	label := func(b int) string {
+		if b == 0 {
+			return fmt.Sprintf("<%.0fmm", bounds[0])
+		}
+		if b == len(bounds) {
+			return fmt.Sprintf(">=%.0fmm", bounds[len(bounds)-1])
+		}
+		return fmt.Sprintf("%.0f-%.0fmm", bounds[b-1], bounds[b])
+	}
+	bandOf := func(d float64) int {
+		for i, u := range bounds {
+			if d < u {
+				return i
+			}
+		}
+		return len(bounds)
+	}
+	rows := make([]CohortRow, len(bounds)+1)
+	for b := range rows {
+		rows[b].Cohort = label(b)
+	}
+	for i := range n.pipes {
+		p := &n.pipes[i]
+		b := bandOf(p.DiameterMM)
+		y := n.activeYears(p)
+		rows[b].Pipes++
+		rows[b].PipeYears += y
+		rows[b].KMYears += y * p.LengthM / 1000
+		rows[b].Failures += n.FailureCount(p.ID, n.ObservedFrom, n.ObservedTo)
+	}
+	out := rows[:0]
+	for _, r := range rows {
+		if r.Pipes == 0 {
+			continue
+		}
+		finishRow(&r)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SegmentHotspot is a pipe segment with repeated failures — the strongest
+// renewal signal a work-order log can give.
+type SegmentHotspot struct {
+	PipeID   string
+	Segment  int
+	Failures int
+}
+
+// SegmentHotspots returns segments with at least minFailures recorded
+// failures, sorted by failure count descending (ties by pipe then segment).
+func (n *Network) SegmentHotspots(minFailures int) []SegmentHotspot {
+	if minFailures < 1 {
+		minFailures = 1
+	}
+	type key struct {
+		id  string
+		seg int
+	}
+	counts := map[key]int{}
+	for i := range n.failures {
+		f := &n.failures[i]
+		counts[key{f.PipeID, f.Segment}]++
+	}
+	var out []SegmentHotspot
+	for k, c := range counts {
+		if c >= minFailures {
+			out = append(out, SegmentHotspot{PipeID: k.id, Segment: k.seg, Failures: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Failures != out[b].Failures {
+			return out[a].Failures > out[b].Failures
+		}
+		if out[a].PipeID != out[b].PipeID {
+			return out[a].PipeID < out[b].PipeID
+		}
+		return out[a].Segment < out[b].Segment
+	})
+	return out
+}

@@ -1,0 +1,307 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// The CSV schema mirrors the two registries a utility exports: a pipe table
+// and a work-order (failure) table. Headers are written and required so
+// files remain self-describing.
+
+var pipeHeader = []string{
+	"id", "class", "material", "coating", "diameter_mm", "length_m",
+	"laid_year", "soil_corrosivity", "soil_expansivity", "soil_geology",
+	"soil_map", "dist_traffic_m", "x", "y", "segments",
+}
+
+var failureHeader = []string{"pipe_id", "segment", "year", "day", "mode"}
+
+// WritePipes writes the pipe table as CSV.
+func WritePipes(w io.Writer, pipes []Pipe) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(pipeHeader); err != nil {
+		return fmt.Errorf("dataset: write pipe header: %w", err)
+	}
+	for i := range pipes {
+		p := &pipes[i]
+		rec := []string{
+			p.ID,
+			p.Class.String(),
+			string(p.Material),
+			string(p.Coating),
+			formatFloat(p.DiameterMM),
+			formatFloat(p.LengthM),
+			strconv.Itoa(p.LaidYear),
+			p.SoilCorrosivity,
+			p.SoilExpansivity,
+			p.SoilGeology,
+			p.SoilMap,
+			formatFloat(p.DistToTrafficM),
+			formatFloat(p.X),
+			formatFloat(p.Y),
+			strconv.Itoa(p.Segments),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write pipe %q: %w", p.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPipes parses a pipe table written by WritePipes.
+func ReadPipes(r io.Reader) ([]Pipe, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(pipeHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read pipe header: %w", err)
+	}
+	if err := checkHeader(head, pipeHeader); err != nil {
+		return nil, err
+	}
+	var pipes []Pipe
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read pipe line %d: %w", line, err)
+		}
+		p, err := parsePipe(rec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: pipe line %d: %w", line, err)
+		}
+		pipes = append(pipes, p)
+	}
+	return pipes, nil
+}
+
+func parsePipe(rec []string) (Pipe, error) {
+	var p Pipe
+	var err error
+	p.ID = rec[0]
+	if p.Class, err = ParsePipeClass(rec[1]); err != nil {
+		return p, err
+	}
+	p.Material = Material(rec[2])
+	p.Coating = Coating(rec[3])
+	if p.DiameterMM, err = parseFloat("diameter_mm", rec[4]); err != nil {
+		return p, err
+	}
+	if p.LengthM, err = parseFloat("length_m", rec[5]); err != nil {
+		return p, err
+	}
+	if p.LaidYear, err = parseInt("laid_year", rec[6]); err != nil {
+		return p, err
+	}
+	p.SoilCorrosivity = rec[7]
+	p.SoilExpansivity = rec[8]
+	p.SoilGeology = rec[9]
+	p.SoilMap = rec[10]
+	if p.DistToTrafficM, err = parseFloat("dist_traffic_m", rec[11]); err != nil {
+		return p, err
+	}
+	if p.X, err = parseFloat("x", rec[12]); err != nil {
+		return p, err
+	}
+	if p.Y, err = parseFloat("y", rec[13]); err != nil {
+		return p, err
+	}
+	if p.Segments, err = parseInt("segments", rec[14]); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// WriteFailures writes the failure log as CSV.
+func WriteFailures(w io.Writer, failures []Failure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(failureHeader); err != nil {
+		return fmt.Errorf("dataset: write failure header: %w", err)
+	}
+	for i := range failures {
+		f := &failures[i]
+		rec := []string{
+			f.PipeID,
+			strconv.Itoa(f.Segment),
+			strconv.Itoa(f.Year),
+			strconv.Itoa(f.Day),
+			string(f.Mode),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write failure %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFailures parses a failure log written by WriteFailures.
+func ReadFailures(r io.Reader) ([]Failure, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(failureHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read failure header: %w", err)
+	}
+	if err := checkHeader(head, failureHeader); err != nil {
+		return nil, err
+	}
+	var out []Failure
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read failure line %d: %w", line, err)
+		}
+		var f Failure
+		f.PipeID = rec[0]
+		if f.Segment, err = parseInt("segment", rec[1]); err != nil {
+			return nil, fmt.Errorf("dataset: failure line %d: %w", line, err)
+		}
+		if f.Year, err = parseInt("year", rec[2]); err != nil {
+			return nil, fmt.Errorf("dataset: failure line %d: %w", line, err)
+		}
+		if f.Day, err = parseInt("day", rec[3]); err != nil {
+			return nil, fmt.Errorf("dataset: failure line %d: %w", line, err)
+		}
+		f.Mode = FailureMode(rec[4])
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// SaveDir writes a network into dir as pipes.csv, failures.csv and meta.csv.
+// The directory is created if needed.
+func SaveDir(n *Network, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	if err := writeFile(filepath.Join(dir, "pipes.csv"), func(w io.Writer) error {
+		return WritePipes(w, n.Pipes())
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "failures.csv"), func(w io.Writer) error {
+		return WriteFailures(w, n.Failures())
+	}); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, "meta.csv"), func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"region", "observed_from", "observed_to"}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{n.Region, strconv.Itoa(n.ObservedFrom), strconv.Itoa(n.ObservedTo)}); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+}
+
+// LoadDir reads a network previously written by SaveDir and validates it.
+func LoadDir(dir string) (*Network, error) {
+	pipesF, err := os.Open(filepath.Join(dir, "pipes.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer pipesF.Close()
+	pipes, err := ReadPipes(pipesF)
+	if err != nil {
+		return nil, err
+	}
+
+	failsF, err := os.Open(filepath.Join(dir, "failures.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer failsF.Close()
+	fails, err := ReadFailures(failsF)
+	if err != nil {
+		return nil, err
+	}
+
+	metaF, err := os.Open(filepath.Join(dir, "meta.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer metaF.Close()
+	cr := csv.NewReader(metaF)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read meta: %w", err)
+	}
+	if len(rows) != 2 || len(rows[1]) != 3 {
+		return nil, fmt.Errorf("dataset: malformed meta.csv in %s", dir)
+	}
+	from, err := parseInt("observed_from", rows[1][1])
+	if err != nil {
+		return nil, err
+	}
+	to, err := parseInt("observed_to", rows[1][2])
+	if err != nil {
+		return nil, err
+	}
+	n := NewNetwork(rows[1][0], from, to, pipes, fails)
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %s failed validation: %w", dir, err)
+	}
+	return n, nil
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: close %s: %w", path, err)
+	}
+	return nil
+}
+
+func checkHeader(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("dataset: header has %d fields, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("dataset: header field %d is %q, want %q", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func parseFloat(field, s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %s: %w", field, err)
+	}
+	return v, nil
+}
+
+func parseInt(field, s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("field %s: %w", field, err)
+	}
+	return v, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPipesCSVRoundTrip(t *testing.T) {
+	in := testNetwork().Pipes()
+	var buf bytes.Buffer
+	if err := WritePipes(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPipes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestFailuresCSVRoundTrip(t *testing.T) {
+	in := testNetwork().Failures()
+	var buf bytes.Buffer
+	if err := WriteFailures(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFailures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReadPipesRejectsBadHeader(t *testing.T) {
+	csv := "id,wrong\nP1,2\n"
+	if _, err := ReadPipes(strings.NewReader(csv)); err == nil {
+		t.Fatal("bad header must error")
+	}
+}
+
+func TestReadPipesRejectsBadField(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePipes(&buf, testNetwork().Pipes()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the diameter of the first data row.
+	s := buf.String()
+	s = strings.Replace(s, "375", "not-a-number", 1)
+	_, err := ReadPipes(strings.NewReader(s))
+	if err == nil || !strings.Contains(err.Error(), "diameter_mm") {
+		t.Fatalf("want diameter parse error, got %v", err)
+	}
+}
+
+func TestReadFailuresRejectsBadHeaderAndField(t *testing.T) {
+	if _, err := ReadFailures(strings.NewReader("nope\n")); err == nil {
+		t.Fatal("bad header must error")
+	}
+	good := "pipe_id,segment,year,day,mode\nP1,x,2000,1,BREAK\n"
+	if _, err := ReadFailures(strings.NewReader(good)); err == nil {
+		t.Fatal("bad segment must error")
+	}
+}
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "regionT")
+	n := testNetwork()
+	if err := SaveDir(n, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Region != "T" || got.ObservedFrom != 1998 || got.ObservedTo != 2009 {
+		t.Fatalf("meta mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Pipes(), n.Pipes()) {
+		t.Fatal("pipes differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Failures(), n.Failures()) {
+		t.Fatal("failures differ after round trip")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir must error")
+	}
+}
+
+func TestLoadDirRejectsInvalidNetwork(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bad")
+	pipes := []Pipe{{ID: "P1", Class: ReticulationMain, Material: PVC,
+		Coating: CoatingNone, DiameterMM: 100, LengthM: 10, LaidYear: 1990, Segments: 1}}
+	fails := []Failure{{PipeID: "GHOST", Segment: 0, Year: 2000, Day: 1, Mode: ModeBreak}}
+	n := NewNetwork("bad", 1998, 2009, pipes, fails)
+	if err := SaveDir(n, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("invalid network must fail LoadDir validation")
+	}
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPipes asserts the pipe-table parser never panics and never
+// returns rows from malformed input without an error.
+func FuzzReadPipes(f *testing.F) {
+	var good bytes.Buffer
+	if err := WritePipes(&good, testNetwork().Pipes()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add("id,wrong\n")
+	f.Add("")
+	f.Add("id,class,material,coating,diameter_mm,length_m,laid_year,soil_corrosivity,soil_expansivity,soil_geology,soil_map,dist_traffic_m,x,y,segments\nP,CWM,CICL,NONE,x,1,1,a,b,c,d,1,1,1,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		pipes, err := ReadPipes(strings.NewReader(input))
+		if err == nil {
+			// Whatever parsed must round-trip.
+			var buf bytes.Buffer
+			if werr := WritePipes(&buf, pipes); werr != nil {
+				t.Fatalf("round trip write failed: %v", werr)
+			}
+			if _, rerr := ReadPipes(&buf); rerr != nil {
+				t.Fatalf("round trip read failed: %v", rerr)
+			}
+		}
+	})
+}
+
+// FuzzReadFailures mirrors FuzzReadPipes for the failure log.
+func FuzzReadFailures(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteFailures(&good, testNetwork().Failures()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add("pipe_id,segment,year,day,mode\nP,0,2000,1,BREAK\n")
+	f.Add("pipe_id,segment,year,day,mode\nP,a,b,c,BREAK\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		fails, err := ReadFailures(strings.NewReader(input))
+		if err == nil {
+			var buf bytes.Buffer
+			if werr := WriteFailures(&buf, fails); werr != nil {
+				t.Fatalf("round trip write failed: %v", werr)
+			}
+			if _, rerr := ReadFailures(&buf); rerr != nil {
+				t.Fatalf("round trip read failed: %v", rerr)
+			}
+		}
+	})
+}

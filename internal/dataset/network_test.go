@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// testNetwork builds a small hand-constructed network used across tests.
+func testNetwork() *Network {
+	pipes := []Pipe{
+		{ID: "P1", Class: CriticalMain, Material: CICL, Coating: CoatingNone,
+			DiameterMM: 375, LengthM: 500, LaidYear: 1950, SoilCorrosivity: "HIGH",
+			SoilExpansivity: "SLIGHT", SoilGeology: "CLAY", SoilMap: "FLUVIAL",
+			DistToTrafficM: 20, X: 100, Y: 100, Segments: 5},
+		{ID: "P2", Class: ReticulationMain, Material: PVC, Coating: CoatingNone,
+			DiameterMM: 100, LengthM: 120, LaidYear: 1990, SoilCorrosivity: "LOW",
+			SoilExpansivity: "STABLE", SoilGeology: "SANDSTONE", SoilMap: "RESIDUAL",
+			DistToTrafficM: 300, X: 200, Y: 150, Segments: 2},
+		{ID: "P3", Class: CriticalMain, Material: CI, Coating: CoatingTar,
+			DiameterMM: 450, LengthM: 900, LaidYear: 1930, SoilCorrosivity: "SEVERE",
+			SoilExpansivity: "HIGH", SoilGeology: "SHALE", SoilMap: "SWAMP",
+			DistToTrafficM: 5, X: 50, Y: 250, Segments: 9},
+	}
+	fails := []Failure{
+		{PipeID: "P3", Segment: 2, Year: 2001, Day: 40, Mode: ModeBreak},
+		{PipeID: "P1", Segment: 0, Year: 2000, Day: 120, Mode: ModeBreak},
+		{PipeID: "P3", Segment: 7, Year: 2005, Day: 300, Mode: ModeLeak},
+		{PipeID: "P3", Segment: 1, Year: 2001, Day: 10, Mode: ModeBreak},
+	}
+	return NewNetwork("T", 1998, 2009, pipes, fails)
+}
+
+func TestNetworkIndexing(t *testing.T) {
+	n := testNetwork()
+	if n.NumPipes() != 3 || n.NumFailures() != 4 {
+		t.Fatalf("counts: %d pipes, %d failures", n.NumPipes(), n.NumFailures())
+	}
+	p, ok := n.PipeByID("P2")
+	if !ok || p.Material != PVC {
+		t.Fatalf("PipeByID(P2) = %+v, %v", p, ok)
+	}
+	if _, ok := n.PipeByID("NOPE"); ok {
+		t.Fatal("unknown pipe must report !ok")
+	}
+	if n.PipeIndex("P3") != 2 || n.PipeIndex("NOPE") != -1 {
+		t.Fatal("PipeIndex wrong")
+	}
+}
+
+func TestFailureOrderingAndLookup(t *testing.T) {
+	n := testNetwork()
+	fs := n.Failures()
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Year < fs[i-1].Year {
+			t.Fatalf("failures not sorted by year: %+v", fs)
+		}
+		if fs[i].Year == fs[i-1].Year && fs[i].Day < fs[i-1].Day {
+			t.Fatalf("failures not sorted by day within year: %+v", fs)
+		}
+	}
+	p3 := n.FailuresOf("P3")
+	if len(p3) != 3 {
+		t.Fatalf("FailuresOf(P3) = %d, want 3", len(p3))
+	}
+	if p3[0].Year != 2001 || p3[0].Day != 10 {
+		t.Fatalf("first P3 failure should be 2001 day 10, got %+v", p3[0])
+	}
+	if len(n.FailuresOf("P2")) != 0 {
+		t.Fatal("P2 has no failures")
+	}
+}
+
+func TestFailureCountAndFailedInYear(t *testing.T) {
+	n := testNetwork()
+	if got := n.FailureCount("P3", 1998, 2009); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := n.FailureCount("P3", 2001, 2001); got != 2 {
+		t.Fatalf("count 2001 = %d", got)
+	}
+	if got := n.FailureCount("P3", 2006, 2009); got != 0 {
+		t.Fatalf("count empty window = %d", got)
+	}
+	if !n.FailedInYear("P1", 2000) || n.FailedInYear("P1", 2001) {
+		t.Fatal("FailedInYear wrong for P1")
+	}
+}
+
+func TestFailuresInYears(t *testing.T) {
+	n := testNetwork()
+	if got := len(n.FailuresInYears(1998, 2008)); got != 4 {
+		t.Fatalf("window 1998-2008: %d, want 4 (all events)", got)
+	}
+	if got := len(n.FailuresInYears(2001, 2001)); got != 2 {
+		t.Fatalf("window 2001: %d, want 2", got)
+	}
+	if got := len(n.FailuresInYears(2009, 2009)); got != 0 {
+		t.Fatalf("window 2009: %d", got)
+	}
+}
+
+func TestSubsetByClass(t *testing.T) {
+	n := testNetwork()
+	cwm := n.SubsetByClass(CriticalMain)
+	if cwm.NumPipes() != 2 || cwm.NumFailures() != 4 {
+		t.Fatalf("CWM subset: %d pipes, %d failures", cwm.NumPipes(), cwm.NumFailures())
+	}
+	rwm := n.SubsetByClass(ReticulationMain)
+	if rwm.NumPipes() != 1 || rwm.NumFailures() != 0 {
+		t.Fatalf("RWM subset: %d pipes, %d failures", rwm.NumPipes(), rwm.NumFailures())
+	}
+}
+
+func TestSubsetPipes(t *testing.T) {
+	n := testNetwork()
+	sub, err := n.SubsetPipes([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumPipes() != 2 || sub.NumFailures() != 4 {
+		t.Fatalf("subset: %d pipes, %d failures", sub.NumPipes(), sub.NumFailures())
+	}
+	if _, err := n.SubsetPipes([]int{99}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	n := testNetwork()
+	rows := n.Summarize()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows (All, CWM, RWM), got %d", len(rows))
+	}
+	all := rows[0]
+	if all.Scope != "All" || all.NumPipes != 3 || all.NumFailures != 4 {
+		t.Fatalf("All row: %+v", all)
+	}
+	if all.LaidFrom != 1930 || all.LaidTo != 1990 {
+		t.Fatalf("laid range: %+v", all)
+	}
+	if all.TotalKM != (500+120+900)/1000.0 {
+		t.Fatalf("total km: %v", all.TotalKM)
+	}
+	if rows[1].Scope != "CWM" || rows[1].NumPipes != 2 {
+		t.Fatalf("CWM row: %+v", rows[1])
+	}
+}
+
+func TestLaidYearRangeEmpty(t *testing.T) {
+	n := NewNetwork("E", 2000, 2001, nil, nil)
+	lo, hi := n.LaidYearRange()
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty network laid range must be (0,0)")
+	}
+	if n.AnnualFailureRate() != 0 {
+		t.Fatal("empty network rate must be 0")
+	}
+}
+
+func TestAnnualFailureRate(t *testing.T) {
+	n := testNetwork()
+	// 4 failures / 12 years / 3 pipes.
+	want := 4.0 / 12.0 / 3.0
+	if got := n.AnnualFailureRate(); got != want {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+}
+
+func TestPipeAgeAt(t *testing.T) {
+	p := Pipe{LaidYear: 1950}
+	if p.AgeAt(2000) != 50 {
+		t.Fatal("age wrong")
+	}
+	if p.AgeAt(1940) != 0 {
+		t.Fatal("age must clamp at 0")
+	}
+}
+
+func TestSegmentLength(t *testing.T) {
+	p := Pipe{LengthM: 100, Segments: 4}
+	if p.SegmentLengthM() != 25 {
+		t.Fatal("segment length wrong")
+	}
+	p.Segments = 0
+	if p.SegmentLengthM() != 100 {
+		t.Fatal("degenerate segments must return full length")
+	}
+}
+
+func TestPipeClassRoundTrip(t *testing.T) {
+	for _, c := range []PipeClass{CriticalMain, ReticulationMain} {
+		got, err := ParsePipeClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v: %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParsePipeClass("XYZ"); err == nil {
+		t.Fatal("unknown class must error")
+	}
+	if !strings.Contains(PipeClass(9).String(), "9") {
+		t.Fatal("unknown class String should include the value")
+	}
+}
+
+func TestClassForDiameter(t *testing.T) {
+	if ClassForDiameter(300) != CriticalMain {
+		t.Fatal("300mm is critical")
+	}
+	if ClassForDiameter(299) != ReticulationMain {
+		t.Fatal("299mm is reticulation")
+	}
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import "fmt"
+
+// Split is a temporal train/test partition of a network's observation
+// window: the model sees failures from TrainFrom..TrainTo and is evaluated
+// on predicting failures in TestYear, exactly as a utility would run the
+// model at the end of TrainTo to plan the next year's inspections.
+type Split struct {
+	Network   *Network
+	TrainFrom int
+	TrainTo   int
+	TestYear  int
+}
+
+// NewSplit validates the window arithmetic against the network's
+// observation span and returns the split.
+func NewSplit(n *Network, trainFrom, trainTo, testYear int) (Split, error) {
+	switch {
+	case trainFrom > trainTo:
+		return Split{}, fmt.Errorf("dataset: train window [%d, %d] inverted", trainFrom, trainTo)
+	case testYear <= trainTo:
+		return Split{}, fmt.Errorf("dataset: test year %d not after train window end %d", testYear, trainTo)
+	case trainFrom < n.ObservedFrom:
+		return Split{}, fmt.Errorf("dataset: train start %d before observation start %d", trainFrom, n.ObservedFrom)
+	case testYear > n.ObservedTo:
+		return Split{}, fmt.Errorf("dataset: test year %d after observation end %d", testYear, n.ObservedTo)
+	}
+	return Split{Network: n, TrainFrom: trainFrom, TrainTo: trainTo, TestYear: testYear}, nil
+}
+
+// PaperSplit reproduces the paper's protocol: all observed history except
+// the final year for training, the final year held out for testing.
+func PaperSplit(n *Network) (Split, error) {
+	return NewSplit(n, n.ObservedFrom, n.ObservedTo-1, n.ObservedTo)
+}
+
+// TrainYears returns the number of training years.
+func (s Split) TrainYears() int { return s.TrainTo - s.TrainFrom + 1 }
+
+// TrainFailures returns the failures visible to the model.
+func (s Split) TrainFailures() []Failure {
+	return s.Network.FailuresInYears(s.TrainFrom, s.TrainTo)
+}
+
+// TestLabels returns, for each pipe in Network.Pipes() order, whether the
+// pipe failed in the test year — the ground truth the rankings are scored
+// against.
+func (s Split) TestLabels() []bool {
+	pipes := s.Network.Pipes()
+	out := make([]bool, len(pipes))
+	for i := range pipes {
+		out[i] = s.Network.FailedInYear(pipes[i].ID, s.TestYear)
+	}
+	return out
+}
+
+// TestFailureCount returns the number of pipes that failed in the test year
+// (pipes, not events: a pipe failing twice counts once, matching how
+// detection rates are reported).
+func (s Split) TestFailureCount() int {
+	c := 0
+	for _, v := range s.TestLabels() {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// RollingSplits enumerates rolling-origin splits: for each test year in
+// [firstTest, n.ObservedTo], train on [n.ObservedFrom, testYear-1].
+// It is the protocol behind the significance tests, which need multiple
+// paired observations per method.
+func RollingSplits(n *Network, firstTest int) ([]Split, error) {
+	if firstTest <= n.ObservedFrom {
+		return nil, fmt.Errorf("dataset: first test year %d must leave at least one training year after %d",
+			firstTest, n.ObservedFrom)
+	}
+	if firstTest > n.ObservedTo {
+		return nil, fmt.Errorf("dataset: first test year %d after observation end %d", firstTest, n.ObservedTo)
+	}
+	var out []Split
+	for y := firstTest; y <= n.ObservedTo; y++ {
+		s, err := NewSplit(n, n.ObservedFrom, y-1, y)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// WindowSplit trains on the w years immediately preceding the network's
+// final observed year and tests on that final year. It is the protocol of
+// the training-history-length experiment.
+func WindowSplit(n *Network, w int) (Split, error) {
+	if w < 1 {
+		return Split{}, fmt.Errorf("dataset: window %d must be >= 1", w)
+	}
+	testYear := n.ObservedTo
+	trainFrom := testYear - w
+	if trainFrom < n.ObservedFrom {
+		trainFrom = n.ObservedFrom
+	}
+	return NewSplit(n, trainFrom, testYear-1, testYear)
+}

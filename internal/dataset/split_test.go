@@ -1,0 +1,102 @@
+package dataset
+
+import "testing"
+
+func TestPaperSplit(t *testing.T) {
+	n := testNetwork()
+	s, err := PaperSplit(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TrainFrom != 1998 || s.TrainTo != 2008 || s.TestYear != 2009 {
+		t.Fatalf("split %+v", s)
+	}
+	if s.TrainYears() != 11 {
+		t.Fatalf("train years = %d", s.TrainYears())
+	}
+}
+
+func TestNewSplitValidation(t *testing.T) {
+	n := testNetwork()
+	cases := []struct{ from, to, test int }{
+		{2005, 2000, 2006}, // inverted
+		{1998, 2005, 2004}, // test inside train
+		{1990, 2000, 2001}, // before observation
+		{1998, 2008, 2020}, // after observation
+	}
+	for _, c := range cases {
+		if _, err := NewSplit(n, c.from, c.to, c.test); err == nil {
+			t.Errorf("NewSplit(%+v) should fail", c)
+		}
+	}
+}
+
+func TestTrainFailuresAndTestLabels(t *testing.T) {
+	n := testNetwork()
+	s, err := NewSplit(n, 1998, 2004, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train window 1998-2004 contains: P1@2000, P3@2001 x2 = 3 events.
+	if got := len(s.TrainFailures()); got != 3 {
+		t.Fatalf("train failures = %d", got)
+	}
+	labels := s.TestLabels()
+	// Pipes order P1, P2, P3; only P3 failed in 2005.
+	want := []bool{false, false, true}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	if s.TestFailureCount() != 1 {
+		t.Fatalf("test failure count = %d", s.TestFailureCount())
+	}
+}
+
+func TestRollingSplits(t *testing.T) {
+	n := testNetwork()
+	splits, err := RollingSplits(n, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 5 { // 2005..2009
+		t.Fatalf("want 5 splits, got %d", len(splits))
+	}
+	for i, s := range splits {
+		if s.TestYear != 2005+i {
+			t.Fatalf("split %d test year %d", i, s.TestYear)
+		}
+		if s.TrainFrom != 1998 || s.TrainTo != s.TestYear-1 {
+			t.Fatalf("split %d window [%d,%d]", i, s.TrainFrom, s.TrainTo)
+		}
+	}
+	if _, err := RollingSplits(n, 1998); err == nil {
+		t.Fatal("first test at observation start must fail")
+	}
+	if _, err := RollingSplits(n, 2050); err == nil {
+		t.Fatal("first test after observation end must fail")
+	}
+}
+
+func TestWindowSplit(t *testing.T) {
+	n := testNetwork()
+	s, err := WindowSplit(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TrainFrom != 2005 || s.TrainTo != 2008 || s.TestYear != 2009 {
+		t.Fatalf("window split %+v", s)
+	}
+	// Window larger than history clamps to observation start.
+	s, err = WindowSplit(n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TrainFrom != 1998 {
+		t.Fatalf("clamped window split %+v", s)
+	}
+	if _, err := WindowSplit(n, 0); err == nil {
+		t.Fatal("w=0 must fail")
+	}
+}

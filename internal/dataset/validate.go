@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ValidationError aggregates every integrity problem found in a Network so
+// a data-loading pipeline can report them all at once instead of failing on
+// the first.
+type ValidationError struct {
+	Problems []string
+}
+
+// Error implements the error interface; it lists up to ten problems.
+func (e *ValidationError) Error() string {
+	const show = 10
+	n := len(e.Problems)
+	shown := e.Problems
+	if n > show {
+		shown = e.Problems[:show]
+	}
+	msg := fmt.Sprintf("dataset: %d validation problem(s): %s", n, strings.Join(shown, "; "))
+	if n > show {
+		msg += fmt.Sprintf("; and %d more", n-show)
+	}
+	return msg
+}
+
+// Validate checks the structural integrity of the network: unique pipe IDs,
+// physically plausible attributes, and failures that reference existing
+// pipes, valid segments, and the observation window. It returns nil when
+// the network is clean, or a *ValidationError listing every problem.
+func (n *Network) Validate() error {
+	var probs []string
+	add := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+
+	if n.ObservedFrom > n.ObservedTo {
+		add("observation window [%d, %d] is inverted", n.ObservedFrom, n.ObservedTo)
+	}
+
+	seen := make(map[string]bool, len(n.pipes))
+	for i := range n.pipes {
+		p := &n.pipes[i]
+		if p.ID == "" {
+			add("pipe %d has empty ID", i)
+			continue
+		}
+		if seen[p.ID] {
+			add("duplicate pipe ID %q", p.ID)
+		}
+		seen[p.ID] = true
+		if p.DiameterMM <= 0 {
+			add("pipe %q has non-positive diameter %v", p.ID, p.DiameterMM)
+		}
+		if p.LengthM <= 0 {
+			add("pipe %q has non-positive length %v", p.ID, p.LengthM)
+		}
+		if p.Segments <= 0 {
+			add("pipe %q has non-positive segment count %d", p.ID, p.Segments)
+		}
+		if p.LaidYear > n.ObservedTo {
+			add("pipe %q laid in %d, after observation end %d", p.ID, p.LaidYear, n.ObservedTo)
+		}
+		if p.Class != ClassForDiameter(p.DiameterMM) {
+			add("pipe %q class %s inconsistent with diameter %v mm", p.ID, p.Class, p.DiameterMM)
+		}
+		if p.DistToTrafficM < 0 {
+			add("pipe %q has negative traffic distance %v", p.ID, p.DistToTrafficM)
+		}
+	}
+
+	for i := range n.failures {
+		f := &n.failures[i]
+		p, ok := n.PipeByID(f.PipeID)
+		if !ok {
+			add("failure %d references unknown pipe %q", i, f.PipeID)
+			continue
+		}
+		if f.Segment < 0 || f.Segment >= p.Segments {
+			add("failure %d on pipe %q has segment %d outside [0,%d)", i, f.PipeID, f.Segment, p.Segments)
+		}
+		if f.Year < n.ObservedFrom || f.Year > n.ObservedTo {
+			add("failure %d on pipe %q in year %d outside window [%d,%d]",
+				i, f.PipeID, f.Year, n.ObservedFrom, n.ObservedTo)
+		}
+		if f.Year < p.LaidYear {
+			add("failure %d on pipe %q predates laid year %d", i, f.PipeID, p.LaidYear)
+		}
+		if f.Day < 1 || f.Day > 366 {
+			add("failure %d on pipe %q has day-of-year %d", i, f.PipeID, f.Day)
+		}
+	}
+
+	if len(probs) == 0 {
+		return nil
+	}
+	return &ValidationError{Problems: probs}
+}
+
+// AsValidationError unwraps err into a *ValidationError when possible.
+func AsValidationError(err error) (*ValidationError, bool) {
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		return ve, true
+	}
+	return nil, false
+}

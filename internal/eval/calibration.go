@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Brier returns the Brier score (mean squared error of predicted
+// probabilities against binary outcomes); lower is better. It panics on
+// length mismatch and returns 0 for empty input.
+func Brier(probs []float64, labels []bool) float64 {
+	if len(probs) != len(labels) {
+		panic(fmt.Sprintf("eval: Brier length mismatch %d vs %d", len(probs), len(labels)))
+	}
+	if len(probs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range probs {
+		y := 0.0
+		if labels[i] {
+			y = 1
+		}
+		d := p - y
+		s += d * d
+	}
+	return s / float64(len(probs))
+}
+
+// ReliabilityBin is one bin of a reliability diagram.
+type ReliabilityBin struct {
+	// Lo and Hi bound the predicted-probability bin [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of predictions in the bin.
+	Count int
+	// MeanPredicted is the average predicted probability in the bin.
+	MeanPredicted float64
+	// ObservedRate is the empirical positive rate in the bin.
+	ObservedRate float64
+}
+
+// Reliability computes an equal-width reliability diagram with the given
+// number of bins (default 10 when bins < 1). Predictions outside [0, 1]
+// are clamped into the terminal bins.
+func Reliability(probs []float64, labels []bool, bins int) []ReliabilityBin {
+	if len(probs) != len(labels) {
+		panic(fmt.Sprintf("eval: Reliability length mismatch %d vs %d", len(probs), len(labels)))
+	}
+	if bins < 1 {
+		bins = 10
+	}
+	out := make([]ReliabilityBin, bins)
+	sums := make([]float64, bins)
+	pos := make([]int, bins)
+	for i := range out {
+		out[i].Lo = float64(i) / float64(bins)
+		out[i].Hi = float64(i+1) / float64(bins)
+	}
+	for i, p := range probs {
+		b := int(p * float64(bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b].Count++
+		sums[b] += p
+		if labels[i] {
+			pos[b]++
+		}
+	}
+	for i := range out {
+		if out[i].Count > 0 {
+			out[i].MeanPredicted = sums[i] / float64(out[i].Count)
+			out[i].ObservedRate = float64(pos[i]) / float64(out[i].Count)
+		}
+	}
+	return out
+}
+
+// ECE returns the expected calibration error: the count-weighted mean
+// absolute gap between predicted and observed rates across reliability
+// bins. 0 is perfectly calibrated.
+func ECE(probs []float64, labels []bool, bins int) float64 {
+	rel := Reliability(probs, labels, bins)
+	n := 0
+	for _, b := range rel {
+		n += b.Count
+	}
+	if n == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, b := range rel {
+		if b.Count == 0 {
+			continue
+		}
+		e += float64(b.Count) / float64(n) * math.Abs(b.MeanPredicted-b.ObservedRate)
+	}
+	return e
+}
+
+// KendallTau returns the Kendall rank correlation (tau-a) between two score
+// vectors over the same items, computed in O(n²) — fine for the model-
+// agreement analysis over thousands of pipes, not millions. It returns 0
+// for mismatched or sub-2-element input.
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			s := da * db
+			switch {
+			case s > 0:
+				concordant++
+			case s < 0:
+				discordant++
+			}
+		}
+	}
+	n := float64(len(a))
+	pairs := n * (n - 1) / 2
+	return (concordant - discordant) / pairs
+}

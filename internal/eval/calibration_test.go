@@ -1,0 +1,199 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBrierKnownValues(t *testing.T) {
+	// Perfect predictions → 0; inverted → 1; 0.5 everywhere → 0.25.
+	if got := Brier([]float64{1, 0}, []bool{true, false}); got != 0 {
+		t.Fatalf("perfect brier = %v", got)
+	}
+	if got := Brier([]float64{0, 1}, []bool{true, false}); got != 1 {
+		t.Fatalf("inverted brier = %v", got)
+	}
+	if got := Brier([]float64{0.5, 0.5}, []bool{true, false}); got != 0.25 {
+		t.Fatalf("uniform brier = %v", got)
+	}
+	if got := Brier(nil, nil); got != 0 {
+		t.Fatalf("empty brier = %v", got)
+	}
+}
+
+func TestBrierPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Brier([]float64{1}, []bool{true, false})
+}
+
+func TestReliabilityAndECEPerfectlyCalibrated(t *testing.T) {
+	rng := stats.NewRNG(3)
+	n := 60000
+	probs := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range probs {
+		probs[i] = rng.Float64()
+		labels[i] = rng.Bernoulli(probs[i])
+	}
+	rel := Reliability(probs, labels, 10)
+	if len(rel) != 10 {
+		t.Fatalf("bins = %d", len(rel))
+	}
+	total := 0
+	for _, b := range rel {
+		total += b.Count
+		if b.Count > 0 && math.Abs(b.MeanPredicted-b.ObservedRate) > 0.05 {
+			t.Fatalf("bin [%v,%v): predicted %v vs observed %v",
+				b.Lo, b.Hi, b.MeanPredicted, b.ObservedRate)
+		}
+	}
+	if total != n {
+		t.Fatalf("bin counts sum to %d", total)
+	}
+	if e := ECE(probs, labels, 10); e > 0.02 {
+		t.Fatalf("ECE of calibrated predictions = %v", e)
+	}
+}
+
+func TestECEDetectsMiscalibration(t *testing.T) {
+	rng := stats.NewRNG(4)
+	n := 20000
+	probs := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range probs {
+		probs[i] = 0.9 // overconfident
+		labels[i] = rng.Bernoulli(0.1)
+	}
+	if e := ECE(probs, labels, 10); e < 0.7 {
+		t.Fatalf("ECE should flag gross miscalibration, got %v", e)
+	}
+}
+
+func TestReliabilityClampsOutOfRange(t *testing.T) {
+	rel := Reliability([]float64{-0.5, 1.5}, []bool{false, true}, 5)
+	if rel[0].Count != 1 || rel[4].Count != 1 {
+		t.Fatalf("clamping failed: %+v", rel)
+	}
+	if e := ECE(nil, nil, 5); e != 0 {
+		t.Fatalf("empty ECE = %v", e)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, a); got != 1 {
+		t.Fatalf("tau(a,a) = %v", got)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, rev); got != -1 {
+		t.Fatalf("tau reversed = %v", got)
+	}
+	// One swapped adjacent pair of 4: 5 concordant, 1 discordant → 4/6.
+	b := []float64{1, 3, 2, 4}
+	if got := KendallTau(a, b); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Fatalf("tau = %v, want %v", got, 4.0/6.0)
+	}
+	if KendallTau(a, a[:2]) != 0 {
+		t.Fatal("mismatched lengths must return 0")
+	}
+	if KendallTau([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("single element must return 0")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds, err := KFold(10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		if len(f) < 3 || len(f) > 4 {
+			t.Fatalf("fold size %d", len(f))
+		}
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d of 10", len(seen))
+	}
+	if _, err := KFold(10, 1, 1); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := KFold(3, 5, 1); err == nil {
+		t.Fatal("k>n must error")
+	}
+	// Determinism.
+	f2, err := KFold(10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range folds {
+		for j := range folds[i] {
+			if folds[i][j] != f2[i][j] {
+				t.Fatal("KFold not deterministic")
+			}
+		}
+	}
+}
+
+func TestStratifiedKFoldPreservesPositives(t *testing.T) {
+	labels := make([]bool, 100)
+	for i := 0; i < 10; i++ {
+		labels[i] = true // 10% positives
+	}
+	folds, err := StratifiedKFold(labels, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range folds {
+		pos := 0
+		for _, i := range f {
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos != 2 {
+			t.Fatalf("fold %d has %d positives, want 2", fi, pos)
+		}
+	}
+	if _, err := StratifiedKFold(labels, 1, 1); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := StratifiedKFold(labels[:2], 5, 1); err == nil {
+		t.Fatal("k>n must error")
+	}
+}
+
+func TestTrainIndices(t *testing.T) {
+	folds := [][]int{{0, 1}, {2, 3}, {4}}
+	tr, err := TrainIndices(folds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 1: true, 4: true}
+	if len(tr) != 3 {
+		t.Fatalf("train = %v", tr)
+	}
+	for _, i := range tr {
+		if !want[i] {
+			t.Fatalf("unexpected index %d", i)
+		}
+	}
+	if _, err := TrainIndices(folds, 9); err == nil {
+		t.Fatal("bad holdout must error")
+	}
+}

@@ -1,0 +1,36 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+func ExampleAUC() {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	failed := []bool{true, false, true, false}
+	fmt.Printf("%.2f\n", eval.AUC(scores, failed))
+	// Output: 0.75
+}
+
+func ExampleDetectionAt() {
+	// Ten pipes, the two failures ranked 1st and 4th.
+	scores := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	failed := []bool{true, false, false, true, false, false, false, false, false, false}
+	fmt.Printf("top 10%%: %.0f%%\n", 100*eval.DetectionAt(scores, failed, 0.10))
+	fmt.Printf("top 40%%: %.0f%%\n", 100*eval.DetectionAt(scores, failed, 0.40))
+	// Output:
+	// top 10%: 50%
+	// top 40%: 100%
+}
+
+func ExampleTable() {
+	tb := eval.NewTable("results", "model", "auc")
+	tb.AddRow("DirectAUC-ES", eval.FormatPercent(0.8467))
+	fmt.Print(tb.String())
+	// Output:
+	// results
+	// model         auc
+	// --------------------
+	// DirectAUC-ES  84.67%
+}

@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	tb := NewTable("sample", "model", "auc")
+	tb.AddRow("Cox", "0.75")
+	tb.AddRow("SVM", "0.80")
+	return tb
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "model" || rows[2][1] != "0.80" {
+		t.Fatalf("csv content %v", rows)
+	}
+	// The title is not part of the CSV.
+	if strings.Contains(buf.String(), "sample") {
+		t.Fatal("title leaked into CSV")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]string
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("objects = %d", len(out))
+	}
+	if out[0]["model"] != "Cox" || out[1]["auc"] != "0.80" {
+		t.Fatalf("json content %v", out)
+	}
+}
+
+func TestTableEmptyExport(t *testing.T) {
+	tb := NewTable("empty", "a", "b")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/feature"
+	"repro/internal/stats"
+)
+
+// SignificanceResult is one cell of the significance table: the proposed
+// method against one baseline in one region.
+type SignificanceResult struct {
+	Region   string
+	Proposed string
+	Baseline string
+	// AUCTest compares per-test-year full AUCs; Det1Test compares
+	// per-test-year detection rates at 1 %.
+	AUCTest  stats.TTestResult
+	Det1Test stats.TTestResult
+}
+
+// T4Significance runs rolling-origin evaluation (one paired observation per
+// held-out year) and one-sided paired t-tests of the proposed method
+// against every other configured model, mirroring the paper's significance
+// table. firstTest is the earliest held-out year; the default (0) leaves
+// five observations at the end of the window.
+func T4Significance(opts Options, firstTest int) ([]SignificanceResult, error) {
+	opts = opts.withDefaults()
+	reg := NewRegistry(opts.Seed, opts.ESGenerations)
+	proposed := opts.Models[0]
+	var out []SignificanceResult
+	for _, name := range opts.Regions {
+		net, _, err := GenerateRegion(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		ft := firstTest
+		if ft == 0 {
+			ft = net.ObservedTo - 4
+		}
+		splits, err := dataset.RollingSplits(net, ft)
+		if err != nil {
+			return nil, err
+		}
+		// aucs[model][splitIdx], det1s[model][splitIdx]
+		aucs := make(map[string][]float64)
+		det1s := make(map[string][]float64)
+		for _, split := range splits {
+			evals, err := EvaluateSplit(net, split, reg, opts.Models, feature.Groups{})
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range evals {
+				aucs[e.Model] = append(aucs[e.Model], e.AUC)
+				det1s[e.Model] = append(det1s[e.Model], e.Det1)
+			}
+		}
+		for _, base := range opts.Models[1:] {
+			at, err := stats.PairedTTest(aucs[proposed], aucs[base], stats.Greater, 0.05)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: t-test %s vs %s: %w", proposed, base, err)
+			}
+			dt, err := stats.PairedTTest(det1s[proposed], det1s[base], stats.Greater, 0.05)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: t-test %s vs %s: %w", proposed, base, err)
+			}
+			out = append(out, SignificanceResult{
+				Region: name, Proposed: proposed, Baseline: base,
+				AUCTest: at, Det1Test: dt,
+			})
+		}
+	}
+	return out, nil
+}
+
+// T4Table renders significance results in the paper's "t (<0.05)" style.
+func T4Table(results []SignificanceResult) *eval.Table {
+	tb := eval.NewTable(
+		"T4: one-sided paired t-tests, proposed vs baseline (statistic, significance)",
+		"region", "baseline", "AUC t-test", "det@1% t-test")
+	for _, r := range results {
+		tb.AddRow(r.Region, r.Baseline, r.AUCTest.String(), r.Det1Test.String())
+	}
+	return tb
+}

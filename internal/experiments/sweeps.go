@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/feature"
+	"repro/internal/synthetic"
+)
+
+// F2WindowSweep measures AUC on the final held-out year as a function of
+// training-history length (the paper's data-volume analysis). Windows are
+// in years; the default grid is {2, 4, 6, 8, 11}.
+func F2WindowSweep(opts Options, windows []int) (*eval.Table, error) {
+	opts = opts.withDefaults()
+	if len(windows) == 0 {
+		windows = []int{2, 4, 6, 8, 11}
+	}
+	reg := NewRegistry(opts.Seed, opts.ESGenerations)
+	header := []string{"region", "model"}
+	for _, w := range windows {
+		header = append(header, fmt.Sprintf("%dy", w))
+	}
+	tb := eval.NewTable("F2: AUC vs training-history length", header...)
+	for _, name := range opts.Regions {
+		net, _, err := GenerateRegion(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		// aucs[model][windowIdx]
+		aucs := make(map[string][]float64)
+		for _, w := range windows {
+			split, err := dataset.WindowSplit(net, w)
+			if err != nil {
+				return nil, err
+			}
+			evals, err := EvaluateSplit(net, split, reg, opts.Models, feature.Groups{})
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range evals {
+				aucs[e.Model] = append(aucs[e.Model], e.AUC)
+			}
+		}
+		for _, m := range opts.Models {
+			row := []string{name, m}
+			for _, a := range aucs[m] {
+				row = append(row, eval.FormatPercent(a))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb, nil
+}
+
+// AblationResult is one row of the feature-ablation experiment.
+type AblationResult struct {
+	Region  string
+	Dropped string
+	AUC     float64
+	// DeltaAUC is AUC(full) − AUC(without group); positive means the
+	// group helps.
+	DeltaAUC float64
+}
+
+// T5Ablation measures the value of each feature group for the proposed
+// method by dropping one group at a time. The first configured model is
+// the one ablated.
+func T5Ablation(opts Options) ([]AblationResult, error) {
+	opts = opts.withDefaults()
+	reg := NewRegistry(opts.Seed, opts.ESGenerations)
+	model := []string{opts.Models[0]}
+	groups := []string{"material", "age", "geometry", "soil", "traffic", "history"}
+	var out []AblationResult
+	for _, name := range opts.Regions {
+		net, _, err := GenerateRegion(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		split, err := dataset.PaperSplit(net)
+		if err != nil {
+			return nil, err
+		}
+		fullEvals, err := EvaluateSplit(net, split, reg, model, feature.Groups{})
+		if err != nil {
+			return nil, err
+		}
+		full := fullEvals[0].AUC
+		out = append(out, AblationResult{Region: name, Dropped: "(none)", AUC: full})
+		for _, g := range groups {
+			reduced, err := feature.AllGroups().Without(g)
+			if err != nil {
+				return nil, err
+			}
+			evals, err := EvaluateSplit(net, split, reg, model, reduced)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationResult{
+				Region: name, Dropped: g,
+				AUC: evals[0].AUC, DeltaAUC: full - evals[0].AUC,
+			})
+		}
+	}
+	return out, nil
+}
+
+// T5Table renders ablation results.
+func T5Table(results []AblationResult) *eval.Table {
+	tb := eval.NewTable("T5: feature-group ablation (proposed method)",
+		"region", "dropped group", "AUC", "ΔAUC vs full")
+	for _, r := range results {
+		tb.AddRow(r.Region, r.Dropped,
+			eval.FormatPercent(r.AUC), fmt.Sprintf("%+.2fpp", 100*r.DeltaAUC))
+	}
+	return tb
+}
+
+// F3Scalability measures wall-clock training time per model as the network
+// grows. sizes are pipe counts; region A's covariate mix is used throughout.
+func F3Scalability(opts Options, sizes []int) (*eval.Table, error) {
+	opts = opts.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{2000, 5000, 10000, 20000}
+	}
+	reg := NewRegistry(opts.Seed, opts.ESGenerations)
+	header := []string{"model"}
+	for _, n := range sizes {
+		header = append(header, fmt.Sprintf("%d pipes", n))
+	}
+	tb := eval.NewTable("F3: training wall-time (seconds) vs network size", header...)
+	// times[model][sizeIdx]
+	times := make(map[string][]float64)
+	for _, n := range sizes {
+		cfg := synthetic.RegionA(opts.Seed)
+		cfg.TargetFailures = int(float64(cfg.TargetFailures) * float64(n) / float64(cfg.NumPipes))
+		cfg.NumPipes = n
+		net, _, err := synthetic.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		split, err := dataset.PaperSplit(net)
+		if err != nil {
+			return nil, err
+		}
+		evals, err := EvaluateSplit(net, split, reg, opts.Models, feature.Groups{})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range evals {
+			times[e.Model] = append(times[e.Model], e.FitSeconds)
+		}
+	}
+	for _, m := range opts.Models {
+		row := []string{m}
+		for _, s := range times[m] {
+			row = append(row, fmt.Sprintf("%.3f", s))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}

@@ -1,0 +1,434 @@
+// Package feature turns the domain model into numeric design matrices.
+//
+// It implements the data-mining pipeline stage of the reproduced paper:
+// heterogeneous pipe attributes (categorical material, coating and soil
+// factors; continuous age, diameter, length, traffic distance) and failure
+// history are encoded into fixed-length vectors, with categorical levels
+// one-hot encoded and continuous features log-transformed and standardized
+// on the training window only.
+//
+// Training uses pipe-year instances: one row per pipe per training year,
+// labelled with whether the pipe failed in that year, with history features
+// computed strictly from years before the instance year (no leakage).
+// Testing uses one row per pipe as of the held-out year.
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// Groups selects which feature groups enter the design matrix. The zero
+// value selects nothing; use AllGroups for the full model. The ablation
+// experiment switches groups off one at a time.
+type Groups struct {
+	// Material enables the material and coating one-hots.
+	Material bool
+	// Age enables pipe age and its log transform.
+	Age bool
+	// Geometry enables diameter and length.
+	Geometry bool
+	// Soil enables the four soil factor one-hots.
+	Soil bool
+	// Traffic enables the distance-to-intersection feature.
+	Traffic bool
+	// History enables prior-failure-count features.
+	History bool
+}
+
+// AllGroups returns every group enabled.
+func AllGroups() Groups {
+	return Groups{Material: true, Age: true, Geometry: true, Soil: true, Traffic: true, History: true}
+}
+
+// Without returns a copy of g with the named group disabled. Valid names:
+// material, age, geometry, soil, traffic, history.
+func (g Groups) Without(name string) (Groups, error) {
+	switch name {
+	case "material":
+		g.Material = false
+	case "age":
+		g.Age = false
+	case "geometry":
+		g.Geometry = false
+	case "soil":
+		g.Soil = false
+	case "traffic":
+		g.Traffic = false
+	case "history":
+		g.History = false
+	default:
+		return g, fmt.Errorf("feature: unknown group %q", name)
+	}
+	return g, nil
+}
+
+// Any reports whether at least one group is enabled.
+func (g Groups) Any() bool {
+	return g.Material || g.Age || g.Geometry || g.Soil || g.Traffic || g.History
+}
+
+// Options configures a Builder.
+type Options struct {
+	// Groups selects the feature groups (default: AllGroups via NewBuilder).
+	Groups Groups
+	// Standardize centres and scales continuous features using training
+	// statistics. One-hot columns are left as 0/1.
+	Standardize bool
+}
+
+// Set is a design matrix plus the metadata models need alongside it.
+// Rows align across all fields.
+type Set struct {
+	// Names are the expanded column names of X.
+	Names []string
+	// X holds one feature vector per instance.
+	X [][]float64
+	// Label is the instance label: pipe failed in the instance year.
+	Label []bool
+	// Age is the pipe age at the instance year (survival baselines use it
+	// directly, independent of whether the age group is enabled in X).
+	Age []float64
+	// LengthM is the pipe length (for length-weighted evaluation).
+	LengthM []float64
+	// PipeIdx is the index of the pipe in Network.Pipes().
+	PipeIdx []int
+	// Year is the instance year.
+	Year []int
+}
+
+// Len returns the number of instances.
+func (s *Set) Len() int { return len(s.X) }
+
+// Dim returns the feature dimensionality (0 for an empty set).
+func (s *Set) Dim() int {
+	if len(s.X) == 0 {
+		return 0
+	}
+	return len(s.X[0])
+}
+
+// Positives returns the number of positive labels.
+func (s *Set) Positives() int {
+	c := 0
+	for _, v := range s.Label {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// Matrix copies X into a dense linalg.Matrix (for the Newton-step fitters).
+func (s *Set) Matrix() *linalg.Matrix {
+	m := linalg.NewMatrix(max(1, s.Len()), max(1, s.Dim()))
+	for i, row := range s.X {
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Builder encodes a network's pipes into Sets. A Builder is bound to one
+// network; categorical vocabularies are collected from the full registry
+// (attributes are known for all pipes up front — only labels are temporal),
+// while numeric scaling statistics are fitted on the training set alone.
+type Builder struct {
+	net  *dataset.Network
+	opts Options
+
+	materials []dataset.Material
+	coatings  []dataset.Coating
+	soilCorr  []string
+	soilExp   []string
+	soilGeo   []string
+	soilMap   []string
+
+	names []string
+
+	// Standardization state, fitted by TrainSet.
+	fitted bool
+	mean   []float64
+	scale  []float64
+	// isNumeric marks columns that participate in standardization.
+	isNumeric []bool
+}
+
+// NewBuilder returns a Builder over the network. Zero-valued Options get
+// the full feature set with standardization enabled.
+func NewBuilder(net *dataset.Network, opts Options) (*Builder, error) {
+	if net == nil {
+		return nil, fmt.Errorf("feature: nil network")
+	}
+	if !opts.Groups.Any() {
+		opts.Groups = AllGroups()
+		opts.Standardize = true
+	}
+	b := &Builder{net: net, opts: opts}
+	b.collectVocabularies()
+	b.buildNames()
+	if len(b.names) == 0 {
+		return nil, fmt.Errorf("feature: configuration yields no features")
+	}
+	return b, nil
+}
+
+// collectVocabularies scans the registry for the categorical levels present,
+// in sorted order for stable column layouts.
+func (b *Builder) collectVocabularies() {
+	mats := map[dataset.Material]bool{}
+	coats := map[dataset.Coating]bool{}
+	sc, se, sg, sm := map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, p := range b.net.Pipes() {
+		mats[p.Material] = true
+		coats[p.Coating] = true
+		sc[p.SoilCorrosivity] = true
+		se[p.SoilExpansivity] = true
+		sg[p.SoilGeology] = true
+		sm[p.SoilMap] = true
+	}
+	for m := range mats {
+		b.materials = append(b.materials, m)
+	}
+	sort.Slice(b.materials, func(i, j int) bool { return b.materials[i] < b.materials[j] })
+	for c := range coats {
+		b.coatings = append(b.coatings, c)
+	}
+	sort.Slice(b.coatings, func(i, j int) bool { return b.coatings[i] < b.coatings[j] })
+	b.soilCorr = sortedKeys(sc)
+	b.soilExp = sortedKeys(se)
+	b.soilGeo = sortedKeys(sg)
+	b.soilMap = sortedKeys(sm)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *Builder) buildNames() {
+	g := b.opts.Groups
+	var names []string
+	var numeric []bool
+	addNum := func(n string) { names = append(names, n); numeric = append(numeric, true) }
+	addCat := func(n string) { names = append(names, n); numeric = append(numeric, false) }
+
+	if g.Material {
+		for _, m := range b.materials {
+			addCat("material=" + string(m))
+		}
+		for _, c := range b.coatings {
+			addCat("coating=" + string(c))
+		}
+	}
+	if g.Age {
+		addNum("age")
+		addNum("log_age")
+	}
+	if g.Geometry {
+		addNum("log_diameter")
+		addNum("log_length")
+	}
+	if g.Soil {
+		for _, v := range b.soilCorr {
+			addCat("soil_corr=" + v)
+		}
+		for _, v := range b.soilExp {
+			addCat("soil_exp=" + v)
+		}
+		for _, v := range b.soilGeo {
+			addCat("soil_geo=" + v)
+		}
+		for _, v := range b.soilMap {
+			addCat("soil_map=" + v)
+		}
+	}
+	if g.Traffic {
+		addNum("log_dist_traffic")
+	}
+	if g.History {
+		addNum("prior_failures")
+		addNum("had_failure")
+	}
+	b.names = names
+	b.isNumeric = numeric
+}
+
+// Names returns the expanded feature names in column order.
+func (b *Builder) Names() []string { return append([]string(nil), b.names...) }
+
+// Dim returns the feature dimensionality.
+func (b *Builder) Dim() int { return len(b.names) }
+
+// row encodes one pipe as of a given year. historyFrom..historyTo bound the
+// failure window visible to the history features.
+func (b *Builder) row(p *dataset.Pipe, year, historyFrom, historyTo int) []float64 {
+	g := b.opts.Groups
+	x := make([]float64, 0, len(b.names))
+	if g.Material {
+		for _, m := range b.materials {
+			x = append(x, boolTo01(p.Material == m))
+		}
+		for _, c := range b.coatings {
+			x = append(x, boolTo01(p.Coating == c))
+		}
+	}
+	if g.Age {
+		age := p.AgeAt(year)
+		x = append(x, age, math.Log1p(age))
+	}
+	if g.Geometry {
+		x = append(x, math.Log(p.DiameterMM), math.Log(p.LengthM))
+	}
+	if g.Soil {
+		for _, v := range b.soilCorr {
+			x = append(x, boolTo01(p.SoilCorrosivity == v))
+		}
+		for _, v := range b.soilExp {
+			x = append(x, boolTo01(p.SoilExpansivity == v))
+		}
+		for _, v := range b.soilGeo {
+			x = append(x, boolTo01(p.SoilGeology == v))
+		}
+		for _, v := range b.soilMap {
+			x = append(x, boolTo01(p.SoilMap == v))
+		}
+	}
+	if g.Traffic {
+		x = append(x, math.Log1p(p.DistToTrafficM))
+	}
+	if g.History {
+		n := 0
+		if historyTo >= historyFrom {
+			n = b.net.FailureCount(p.ID, historyFrom, historyTo)
+		}
+		x = append(x, float64(n), boolTo01(n > 0))
+	}
+	return x
+}
+
+func boolTo01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// TrainSet builds the pipe-year training set for the split and fits the
+// standardization statistics. History features for an instance in year y
+// use failures in [split.TrainFrom, y-1] only.
+func (b *Builder) TrainSet(split dataset.Split) (*Set, error) {
+	s := &Set{Names: b.Names()}
+	pipes := b.net.Pipes()
+	for y := split.TrainFrom; y <= split.TrainTo; y++ {
+		for i := range pipes {
+			p := &pipes[i]
+			if p.LaidYear > y {
+				continue
+			}
+			s.X = append(s.X, b.row(p, y, split.TrainFrom, y-1))
+			s.Label = append(s.Label, b.net.FailedInYear(p.ID, y))
+			s.Age = append(s.Age, p.AgeAt(y))
+			s.LengthM = append(s.LengthM, p.LengthM)
+			s.PipeIdx = append(s.PipeIdx, i)
+			s.Year = append(s.Year, y)
+		}
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("feature: empty training set for split %+v", split)
+	}
+	b.fitScaler(s)
+	b.apply(s)
+	return s, nil
+}
+
+// TestSet builds the one-row-per-pipe test set for the split, using the
+// standardization fitted by TrainSet. History features use the full
+// training window.
+func (b *Builder) TestSet(split dataset.Split) (*Set, error) {
+	if !b.fitted {
+		return nil, fmt.Errorf("feature: TestSet called before TrainSet")
+	}
+	s := &Set{Names: b.Names()}
+	pipes := b.net.Pipes()
+	y := split.TestYear
+	for i := range pipes {
+		p := &pipes[i]
+		if p.LaidYear > y {
+			continue
+		}
+		s.X = append(s.X, b.row(p, y, split.TrainFrom, split.TrainTo))
+		s.Label = append(s.Label, b.net.FailedInYear(p.ID, y))
+		s.Age = append(s.Age, p.AgeAt(y))
+		s.LengthM = append(s.LengthM, p.LengthM)
+		s.PipeIdx = append(s.PipeIdx, i)
+		s.Year = append(s.Year, y)
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("feature: empty test set for split %+v", split)
+	}
+	b.apply(s)
+	return s, nil
+}
+
+func (b *Builder) fitScaler(s *Set) {
+	d := b.Dim()
+	b.mean = make([]float64, d)
+	b.scale = make([]float64, d)
+	for j := 0; j < d; j++ {
+		b.scale[j] = 1
+	}
+	if !b.opts.Standardize {
+		b.fitted = true
+		return
+	}
+	n := float64(s.Len())
+	for j := 0; j < d; j++ {
+		if !b.isNumeric[j] {
+			continue
+		}
+		sum := 0.0
+		for _, row := range s.X {
+			sum += row[j]
+		}
+		mean := sum / n
+		ss := 0.0
+		for _, row := range s.X {
+			dv := row[j] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / n)
+		b.mean[j] = mean
+		if sd > 1e-12 {
+			b.scale[j] = sd
+		}
+	}
+	b.fitted = true
+}
+
+func (b *Builder) apply(s *Set) {
+	if !b.opts.Standardize {
+		return
+	}
+	for _, row := range s.X {
+		for j := range row {
+			if b.isNumeric[j] {
+				row[j] = (row[j] - b.mean[j]) / b.scale[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky-based solvers when the
+// normal-equations matrix is singular or indefinite; fitters respond by
+// increasing their ridge term.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zeroed rows x cols matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix(%d, %d) non-positive dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage, not a copy).
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// MulVec computes m * x, returning a new vector of length m.Rows.
+// It panics when len(x) != m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// TMulVec computes mᵀ * x, returning a new vector of length m.Cols.
+// It panics when len(x) != m.Rows.
+func (m *Matrix) TMulVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: TMulVec dimension mismatch %d vs %d", len(x), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), out)
+	}
+	return out
+}
+
+// ATWA computes Aᵀ diag(w) A for the weighted normal equations used by the
+// IRLS logistic fitter. w must have length A.Rows; pass nil for unit weights.
+func ATWA(a *Matrix, w []float64) *Matrix {
+	out := NewMatrix(a.Cols, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		if wi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for p := 0; p < a.Cols; p++ {
+			vp := wi * row[p]
+			if vp == 0 {
+				continue
+			}
+			orow := out.Row(p)
+			for q := p; q < a.Cols; q++ {
+				orow[q] += vp * row[q]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for p := 0; p < out.Rows; p++ {
+		for q := p + 1; q < out.Cols; q++ {
+			out.Set(q, p, out.At(p, q))
+		}
+	}
+	return out
+}
+
+// Cholesky factors a symmetric positive-definite matrix m into L (lower
+// triangular, m = L Lᵀ). It returns ErrNotPositiveDefinite when a pivot is
+// non-positive. m is not modified.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves m x = b for symmetric positive-definite m via the
+// Cholesky factorization, returning a fresh solution vector.
+func SolveCholesky(m *Matrix, b []float64) ([]float64, error) {
+	if len(b) != m.Rows {
+		return nil, fmt.Errorf("linalg: SolveCholesky rhs length %d vs %d rows", len(b), m.Rows)
+	}
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveRidge solves (m + ridge*I) x = b, retrying with a larger ridge when
+// the matrix is not positive definite. It gives up after a few escalations
+// and returns the underlying error; callers treat that as a fit failure.
+func SolveRidge(m *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if ridge < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge %v", ridge)
+	}
+	cur := ridge
+	for attempt := 0; attempt < 8; attempt++ {
+		work := m.Clone()
+		if cur > 0 {
+			for i := 0; i < work.Rows; i++ {
+				work.Set(i, i, work.At(i, i)+cur)
+			}
+		}
+		x, err := SolveCholesky(work, b)
+		if err == nil {
+			return x, nil
+		}
+		if !errors.Is(err, ErrNotPositiveDefinite) {
+			return nil, err
+		}
+		if cur == 0 {
+			cur = 1e-8
+		} else {
+			cur *= 100
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}

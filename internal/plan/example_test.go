@@ -1,0 +1,28 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+func ExampleGreedy() {
+	cands := []plan.Candidate{
+		{ID: "old-main", FailProb: 0.30, LengthM: 400},
+		{ID: "new-main", FailProb: 0.01, LengthM: 400},
+		{ID: "trunk", FailProb: 0.20, LengthM: 3000},
+	}
+	cm := plan.CostModel{InspectionPerKM: 8000, FailureCost: 150000}
+	p, err := plan.Greedy(cands, cm, plan.Budget{MaxLengthM: 500})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range p.Selected {
+		fmt.Println(c.ID)
+	}
+	fmt.Printf("expected net benefit: $%.0f\n", p.ExpectedNet)
+	// Output:
+	// old-main
+	// expected net benefit: $41800
+}

@@ -1,0 +1,187 @@
+// Package plan turns risk rankings into budget-constrained inspection
+// plans — the operational step the reproduced paper's prioritisation feeds.
+// Given calibrated failure probabilities, a cost model, and a budget, it
+// selects the inspection set greedily by expected net benefit per unit
+// cost (the classic knapsack-density heuristic utilities actually use) and
+// can score a plan against realized failures afterwards.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CostModel prices inspections and failures.
+type CostModel struct {
+	// InspectionPerKM is the condition-assessment cost per kilometre.
+	InspectionPerKM float64
+	// FailureCost is the expected total cost of one unprevented failure
+	// (emergency repair, water loss, third-party damage, disruption).
+	FailureCost float64
+	// PreventionRate is the probability that inspecting a pipe that would
+	// have failed actually prevents the failure (condition assessment is
+	// imperfect); 0 defaults to 1.
+	PreventionRate float64
+}
+
+// Validate checks the cost model for usable values.
+func (c CostModel) Validate() error {
+	switch {
+	case c.InspectionPerKM < 0:
+		return fmt.Errorf("plan: negative inspection cost %v", c.InspectionPerKM)
+	case c.FailureCost <= 0:
+		return fmt.Errorf("plan: non-positive failure cost %v", c.FailureCost)
+	case c.PreventionRate < 0 || c.PreventionRate > 1:
+		return fmt.Errorf("plan: prevention rate %v out of [0,1]", c.PreventionRate)
+	}
+	return nil
+}
+
+func (c CostModel) preventionRate() float64 {
+	if c.PreventionRate == 0 {
+		return 1
+	}
+	return c.PreventionRate
+}
+
+// Candidate is one pipe eligible for inspection.
+type Candidate struct {
+	ID string
+	// FailProb is the calibrated probability of failure next year.
+	FailProb float64
+	// LengthM is the pipe length (drives inspection cost).
+	LengthM float64
+}
+
+// Budget bounds a plan. Zero fields are unconstrained, but at least one of
+// MaxLengthM / MaxCount / MaxSpend must be set.
+type Budget struct {
+	// MaxLengthM caps the total inspected length in metres.
+	MaxLengthM float64
+	// MaxCount caps the number of inspected pipes.
+	MaxCount int
+	// MaxSpend caps the inspection spend under the cost model.
+	MaxSpend float64
+}
+
+// ErrNoBudget is returned when every budget dimension is unconstrained.
+var ErrNoBudget = errors.New("plan: budget must constrain at least one dimension")
+
+// Plan is a selected inspection set with its expected economics.
+type Plan struct {
+	Selected []Candidate
+	// TotalLengthM is the summed length of the selected pipes.
+	TotalLengthM float64
+	// InspectionCost is the plan's cost under the cost model.
+	InspectionCost float64
+	// ExpectedPrevented is the expected number of failures prevented.
+	ExpectedPrevented float64
+	// ExpectedBenefit is ExpectedPrevented x FailureCost.
+	ExpectedBenefit float64
+	// ExpectedNet is ExpectedBenefit − InspectionCost.
+	ExpectedNet float64
+}
+
+// Greedy builds a plan by expected-net-benefit density: candidates are
+// ranked by (prevented-failure value − inspection cost) per metre, and
+// selected while they fit the budget and have positive expected net
+// benefit. Ties and near-zero-length pipes are handled deterministically.
+func Greedy(cands []Candidate, cm CostModel, b Budget) (*Plan, error) {
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	if b.MaxLengthM <= 0 && b.MaxCount <= 0 && b.MaxSpend <= 0 {
+		return nil, ErrNoBudget
+	}
+	for _, c := range cands {
+		if c.FailProb < 0 || c.FailProb > 1 {
+			return nil, fmt.Errorf("plan: candidate %q probability %v out of [0,1]", c.ID, c.FailProb)
+		}
+		if c.LengthM <= 0 {
+			return nil, fmt.Errorf("plan: candidate %q non-positive length %v", c.ID, c.LengthM)
+		}
+	}
+	prev := cm.preventionRate()
+	type scored struct {
+		c       Candidate
+		net     float64
+		density float64
+	}
+	items := make([]scored, 0, len(cands))
+	for _, c := range cands {
+		cost := c.LengthM / 1000 * cm.InspectionPerKM
+		benefit := c.FailProb * prev * cm.FailureCost
+		net := benefit - cost
+		items = append(items, scored{c: c, net: net, density: net / c.LengthM})
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].density != items[j].density {
+			return items[i].density > items[j].density
+		}
+		return items[i].c.ID < items[j].c.ID
+	})
+
+	p := &Plan{}
+	for _, it := range items {
+		if it.net <= 0 {
+			break // everything after is net-negative too
+		}
+		cost := it.c.LengthM / 1000 * cm.InspectionPerKM
+		if b.MaxLengthM > 0 && p.TotalLengthM+it.c.LengthM > b.MaxLengthM {
+			continue
+		}
+		if b.MaxCount > 0 && len(p.Selected) >= b.MaxCount {
+			break
+		}
+		if b.MaxSpend > 0 && p.InspectionCost+cost > b.MaxSpend {
+			continue
+		}
+		p.Selected = append(p.Selected, it.c)
+		p.TotalLengthM += it.c.LengthM
+		p.InspectionCost += cost
+		p.ExpectedPrevented += it.c.FailProb * prev
+	}
+	p.ExpectedBenefit = p.ExpectedPrevented * cm.FailureCost
+	p.ExpectedNet = p.ExpectedBenefit - p.InspectionCost
+	return p, nil
+}
+
+// Outcome is the realized performance of a plan against the actual
+// failures of the planned year.
+type Outcome struct {
+	// Inspected is the number of planned pipes.
+	Inspected int
+	// Caught is the number of planned pipes that actually failed.
+	Caught int
+	// TotalFailures is the number of failing pipes in the whole candidate
+	// universe.
+	TotalFailures int
+	// DetectionRate is Caught / TotalFailures (0 when no failures).
+	DetectionRate float64
+	// RealizedBenefit prices the caught failures under the cost model.
+	RealizedBenefit float64
+	// RealizedNet is RealizedBenefit − InspectionCost.
+	RealizedNet float64
+}
+
+// Evaluate scores a plan against the realized failure set (pipe ID → failed).
+func Evaluate(p *Plan, cm CostModel, failed map[string]bool) Outcome {
+	out := Outcome{Inspected: len(p.Selected)}
+	for _, f := range failed {
+		if f {
+			out.TotalFailures++
+		}
+	}
+	for _, c := range p.Selected {
+		if failed[c.ID] {
+			out.Caught++
+		}
+	}
+	if out.TotalFailures > 0 {
+		out.DetectionRate = float64(out.Caught) / float64(out.TotalFailures)
+	}
+	out.RealizedBenefit = float64(out.Caught) * cm.preventionRate() * cm.FailureCost
+	out.RealizedNet = out.RealizedBenefit - p.InspectionCost
+	return out
+}

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+var cm = CostModel{InspectionPerKM: 8000, FailureCost: 150000}
+
+func TestGreedyPrefersHighDensity(t *testing.T) {
+	cands := []Candidate{
+		{ID: "risky-short", FailProb: 0.5, LengthM: 100},
+		{ID: "risky-long", FailProb: 0.5, LengthM: 2000},
+		{ID: "safe", FailProb: 0.001, LengthM: 100},
+	}
+	p, err := Greedy(cands, cm, Budget{MaxLengthM: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selected) != 1 || p.Selected[0].ID != "risky-short" {
+		t.Fatalf("selected %+v", p.Selected)
+	}
+	if p.TotalLengthM != 100 {
+		t.Fatalf("length %v", p.TotalLengthM)
+	}
+	wantCost := 0.1 * 8000
+	if math.Abs(p.InspectionCost-wantCost) > 1e-9 {
+		t.Fatalf("cost %v, want %v", p.InspectionCost, wantCost)
+	}
+	if math.Abs(p.ExpectedPrevented-0.5) > 1e-12 {
+		t.Fatalf("expected prevented %v", p.ExpectedPrevented)
+	}
+	if p.ExpectedNet <= 0 {
+		t.Fatalf("net %v should be positive", p.ExpectedNet)
+	}
+}
+
+func TestGreedySkipsNetNegative(t *testing.T) {
+	// Inspection cost 8000/km; a 1 km pipe with tiny probability has
+	// benefit ~15, cost 8000 → net negative → never selected even with
+	// unlimited length budget.
+	cands := []Candidate{{ID: "dud", FailProb: 0.0001, LengthM: 1000}}
+	p, err := Greedy(cands, cm, Budget{MaxLengthM: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selected) != 0 {
+		t.Fatalf("selected %+v", p.Selected)
+	}
+}
+
+func TestGreedyBudgetDimensions(t *testing.T) {
+	cands := []Candidate{
+		{ID: "a", FailProb: 0.9, LengthM: 500},
+		{ID: "b", FailProb: 0.8, LengthM: 500},
+		{ID: "c", FailProb: 0.7, LengthM: 500},
+	}
+	// Count budget.
+	p, err := Greedy(cands, cm, Budget{MaxCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selected) != 2 || p.Selected[0].ID != "a" || p.Selected[1].ID != "b" {
+		t.Fatalf("count budget selected %+v", p.Selected)
+	}
+	// Spend budget: each pipe costs 4000.
+	p, err = Greedy(cands, cm, Budget{MaxSpend: 8500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selected) != 2 {
+		t.Fatalf("spend budget selected %d", len(p.Selected))
+	}
+	// Length budget skips a too-long pipe but can take a later one.
+	mixed := []Candidate{
+		{ID: "long", FailProb: 0.9, LengthM: 900},
+		{ID: "short", FailProb: 0.5, LengthM: 100},
+	}
+	p, err = Greedy(mixed, cm, Budget{MaxLengthM: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selected) != 1 || p.Selected[0].ID != "short" {
+		t.Fatalf("length budget selected %+v", p.Selected)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	good := []Candidate{{ID: "a", FailProb: 0.5, LengthM: 100}}
+	if _, err := Greedy(good, cm, Budget{}); !errors.Is(err, ErrNoBudget) {
+		t.Fatalf("want ErrNoBudget, got %v", err)
+	}
+	if _, err := Greedy([]Candidate{{ID: "x", FailProb: 2, LengthM: 1}}, cm, Budget{MaxCount: 1}); err == nil {
+		t.Fatal("bad probability must error")
+	}
+	if _, err := Greedy([]Candidate{{ID: "x", FailProb: 0.5, LengthM: 0}}, cm, Budget{MaxCount: 1}); err == nil {
+		t.Fatal("bad length must error")
+	}
+	bad := cm
+	bad.FailureCost = 0
+	if _, err := Greedy(good, bad, Budget{MaxCount: 1}); err == nil {
+		t.Fatal("bad cost model must error")
+	}
+	bad = cm
+	bad.PreventionRate = 2
+	if _, err := Greedy(good, bad, Budget{MaxCount: 1}); err == nil {
+		t.Fatal("bad prevention rate must error")
+	}
+	bad = cm
+	bad.InspectionPerKM = -1
+	if _, err := Greedy(good, bad, Budget{MaxCount: 1}); err == nil {
+		t.Fatal("negative inspection cost must error")
+	}
+}
+
+func TestPreventionRateScalesBenefit(t *testing.T) {
+	cands := []Candidate{{ID: "a", FailProb: 0.5, LengthM: 100}}
+	half := cm
+	half.PreventionRate = 0.5
+	p, err := Greedy(cands, half, Budget{MaxCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.ExpectedPrevented-0.25) > 1e-12 {
+		t.Fatalf("prevented %v, want 0.25", p.ExpectedPrevented)
+	}
+}
+
+func TestEvaluateOutcome(t *testing.T) {
+	p := &Plan{
+		Selected:       []Candidate{{ID: "a"}, {ID: "b"}},
+		InspectionCost: 1000,
+	}
+	failed := map[string]bool{"a": true, "c": true, "d": false}
+	out := Evaluate(p, cm, failed)
+	if out.Inspected != 2 || out.Caught != 1 || out.TotalFailures != 2 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if out.DetectionRate != 0.5 {
+		t.Fatalf("detection %v", out.DetectionRate)
+	}
+	if out.RealizedBenefit != 150000 {
+		t.Fatalf("benefit %v", out.RealizedBenefit)
+	}
+	if out.RealizedNet != 149000 {
+		t.Fatalf("net %v", out.RealizedNet)
+	}
+	// No failures at all.
+	empty := Evaluate(p, cm, nil)
+	if empty.DetectionRate != 0 || empty.TotalFailures != 0 {
+		t.Fatalf("empty outcome %+v", empty)
+	}
+}
+
+// Property: the greedy plan never exceeds any configured budget dimension
+// and never selects a net-negative candidate.
+func TestGreedyBudgetInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(40)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{
+				ID:       string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				FailProb: rng.Float64(),
+				LengthM:  10 + rng.Float64()*2000,
+			}
+		}
+		b := Budget{MaxLengthM: 500 + rng.Float64()*3000, MaxCount: 1 + rng.Intn(20)}
+		p, err := Greedy(cands, cm, b)
+		if err != nil {
+			return false
+		}
+		if p.TotalLengthM > b.MaxLengthM+1e-9 {
+			return false
+		}
+		if len(p.Selected) > b.MaxCount {
+			return false
+		}
+		for _, c := range p.Selected {
+			cost := c.LengthM / 1000 * cm.InspectionPerKM
+			if c.FailProb*cm.FailureCost-cost <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

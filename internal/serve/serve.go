@@ -1,0 +1,390 @@
+// Package serve exposes a trained-model service over HTTP: a water utility
+// integration point that loads one network, trains models on demand, and
+// serves rankings, per-pipe risk lookups and budget-constrained inspection
+// plans as JSON. It is deliberately stdlib-only (net/http with Go 1.22
+// method patterns).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// Server wires one network and its pipeline into an http.Handler.
+// All handlers are safe for concurrent use; model training is serialized
+// per model name.
+type Server struct {
+	net  *pipefail.Network
+	pipe *pipefail.Pipeline
+	log  *log.Logger
+
+	mu       sync.RWMutex
+	models   map[string]*trainedModel
+	training map[string]bool
+}
+
+type trainedModel struct {
+	model      pipefail.Model
+	ranking    *pipefail.Ranking
+	calibrator core.Calibrator
+	fitSeconds float64
+}
+
+// New builds a Server around the network. Options mirror
+// pipefail.NewPipeline; logger may be nil (logs are discarded into the
+// default logger then).
+func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOption) (*Server, error) {
+	p, err := pipefail.NewPipeline(net, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	return &Server{
+		net:      net,
+		pipe:     p,
+		log:      logger,
+		models:   make(map[string]*trainedModel),
+		training: make(map[string]bool),
+	}, nil
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/network", s.handleNetwork)
+	mux.HandleFunc("GET /api/models", s.handleModels)
+	mux.HandleFunc("POST /api/models/{name}/train", s.handleTrain)
+	mux.HandleFunc("GET /api/models/{name}/ranking", s.handleRanking)
+	mux.HandleFunc("GET /api/pipes/{id}", s.handlePipe)
+	mux.HandleFunc("GET /api/cohorts", s.handleCohorts)
+	mux.HandleFunc("GET /api/hotspots", s.handleHotspots)
+	mux.HandleFunc("POST /api/plan", s.handlePlan)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
+	split := s.pipe.Split()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"region":     s.net.Region,
+		"pipes":      s.net.NumPipes(),
+		"failures":   s.net.NumFailures(),
+		"observed":   []int{s.net.ObservedFrom, s.net.ObservedTo},
+		"train":      []int{split.TrainFrom, split.TrainTo},
+		"test_year":  split.TestYear,
+		"network_km": s.net.TotalLengthM() / 1000,
+	})
+}
+
+type modelStatus struct {
+	Name       string  `json:"name"`
+	Trained    bool    `json:"trained"`
+	AUC        float64 `json:"auc,omitempty"`
+	Det1       float64 `json:"detection_at_1pct,omitempty"`
+	FitSeconds float64 `json:"fit_seconds,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []modelStatus
+	for _, name := range pipefail.Models() {
+		st := modelStatus{Name: name}
+		if tm, ok := s.models[name]; ok {
+			st.Trained = true
+			st.AUC = tm.ranking.AUC()
+			st.Det1 = tm.ranking.DetectionAt(0.01)
+			st.FitSeconds = tm.fitSeconds
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func knownModel(name string) bool {
+	for _, m := range pipefail.Models() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// get returns the trained model, training it on first use.
+func (s *Server) get(name string) (*trainedModel, error) {
+	if !knownModel(name) {
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+	s.mu.RLock()
+	tm, ok := s.models[name]
+	s.mu.RUnlock()
+	if ok {
+		return tm, nil
+	}
+	// Serialize training per model while allowing reads to continue.
+	s.mu.Lock()
+	if tm, ok = s.models[name]; ok {
+		s.mu.Unlock()
+		return tm, nil
+	}
+	if s.training[name] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("model %q is being trained, retry shortly", name)
+	}
+	s.training[name] = true
+	s.mu.Unlock()
+
+	start := time.Now()
+	m, err := s.pipe.Train(name)
+	if err == nil {
+		var ranking *pipefail.Ranking
+		ranking, err = s.pipe.Rank(m)
+		if err == nil {
+			cal := &core.IsotonicCalibrator{}
+			if cerr := cal.FitCal(ranking.Scores, ranking.Failed); cerr != nil {
+				// Calibration failure is non-fatal: plans fall back to
+				// rank-only probabilities.
+				s.log.Printf("serve: calibration for %s failed: %v", name, cerr)
+				cal = nil
+			}
+			tm = &trainedModel{
+				model: m, ranking: ranking,
+				fitSeconds: time.Since(start).Seconds(),
+			}
+			if cal != nil {
+				tm.calibrator = cal
+			}
+		}
+	}
+	s.mu.Lock()
+	delete(s.training, name)
+	if err == nil {
+		s.models[name] = tm
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("training %q: %w", name, err)
+	}
+	s.log.Printf("serve: trained %s in %.2fs (AUC %.4f)", name, tm.fitSeconds, tm.ranking.AUC())
+	return tm, nil
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tm, err := s.get(name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelStatus{
+		Name: name, Trained: true,
+		AUC:        tm.ranking.AUC(),
+		Det1:       tm.ranking.DetectionAt(0.01),
+		FitSeconds: tm.fitSeconds,
+	})
+}
+
+type rankedPipe struct {
+	Rank     int     `json:"rank"`
+	PipeID   string  `json:"pipe_id"`
+	Score    float64 `json:"score"`
+	FailProb float64 `json:"fail_prob,omitempty"`
+}
+
+func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tm, err := s.get(name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	top := 50
+	if q := r.URL.Query().Get("top"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &top); err != nil || top < 1 {
+			writeErr(w, http.StatusBadRequest, "bad top parameter %q", q)
+			return
+		}
+	}
+	ids := tm.ranking.TopIDs(top)
+	pos := make(map[string]int, tm.ranking.Len())
+	for i, id := range tm.ranking.PipeIDs {
+		pos[id] = i
+	}
+	out := make([]rankedPipe, 0, len(ids))
+	for i, id := range ids {
+		rp := rankedPipe{Rank: i + 1, PipeID: id, Score: tm.ranking.Scores[pos[id]]}
+		if tm.calibrator != nil {
+			rp.FailProb = tm.calibrator.Prob(rp.Score)
+		}
+		out = append(out, rp)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, ok := s.net.PipeByID(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown pipe %q", id)
+		return
+	}
+	resp := map[string]any{
+		"id":             p.ID,
+		"class":          p.Class.String(),
+		"material":       string(p.Material),
+		"coating":        string(p.Coating),
+		"diameter":       p.DiameterMM,
+		"length_m":       p.LengthM,
+		"laid_year":      p.LaidYear,
+		"soil":           map[string]string{"corrosivity": p.SoilCorrosivity, "expansivity": p.SoilExpansivity, "geology": p.SoilGeology, "map": p.SoilMap},
+		"dist_traffic_m": p.DistToTrafficM,
+		"failures":       len(s.net.FailuresOf(id)),
+	}
+	scores := map[string]float64{}
+	s.mu.RLock()
+	for name, tm := range s.models {
+		for i, pid := range tm.ranking.PipeIDs {
+			if pid == id {
+				scores[name] = tm.ranking.Scores[i]
+				break
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if len(scores) > 0 {
+		resp["scores"] = scores
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
+	by := r.URL.Query().Get("by")
+	switch by {
+	case "", "material":
+		writeJSON(w, http.StatusOK, s.net.CohortByMaterial())
+	case "age":
+		rows, err := s.net.CohortByAgeBand(10)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rows)
+	case "diameter":
+		rows, err := s.net.CohortByDiameterBand([]float64{100, 200, 300, 450})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rows)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown cohort dimension %q (want material, age or diameter)", by)
+	}
+}
+
+func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
+	min := 2
+	if q := r.URL.Query().Get("min"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &min); err != nil || min < 1 {
+			writeErr(w, http.StatusBadRequest, "bad min parameter %q", q)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.net.SegmentHotspots(min))
+}
+
+type planRequest struct {
+	Model           string  `json:"model"`
+	BudgetKM        float64 `json:"budget_km"`
+	MaxPipes        int     `json:"max_pipes"`
+	InspectionPerKM float64 `json:"inspection_per_km"`
+	FailureCost     float64 `json:"failure_cost"`
+}
+
+type planResponse struct {
+	Model             string   `json:"model"`
+	Pipes             []string `json:"pipes"`
+	TotalKM           float64  `json:"total_km"`
+	InspectionCost    float64  `json:"inspection_cost"`
+	ExpectedPrevented float64  `json:"expected_prevented"`
+	ExpectedNet       float64  `json:"expected_net"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Model == "" {
+		req.Model = pipefail.Models()[0]
+	}
+	if req.InspectionPerKM == 0 {
+		req.InspectionPerKM = 8000
+	}
+	if req.FailureCost == 0 {
+		req.FailureCost = 150000
+	}
+	tm, err := s.get(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if tm.calibrator == nil {
+		writeErr(w, http.StatusConflict, "model %q has no calibrator; cannot price a plan", req.Model)
+		return
+	}
+	cands := make([]plan.Candidate, tm.ranking.Len())
+	for i, id := range tm.ranking.PipeIDs {
+		cands[i] = plan.Candidate{
+			ID:       id,
+			FailProb: tm.calibrator.Prob(tm.ranking.Scores[i]),
+			LengthM:  tm.ranking.LengthM[i],
+		}
+	}
+	cm := plan.CostModel{InspectionPerKM: req.InspectionPerKM, FailureCost: req.FailureCost}
+	b := plan.Budget{MaxLengthM: req.BudgetKM * 1000, MaxCount: req.MaxPipes}
+	p, err := plan.Greedy(cands, cm, b)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := planResponse{
+		Model:             req.Model,
+		TotalKM:           p.TotalLengthM / 1000,
+		InspectionCost:    p.InspectionCost,
+		ExpectedPrevented: p.ExpectedPrevented,
+		ExpectedNet:       p.ExpectedNet,
+	}
+	for _, c := range p.Selected {
+		resp.Pipes = append(resp.Pipes, c.ID)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

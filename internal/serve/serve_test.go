@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	net, err := pipefail.GenerateRegion("A", 5, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(net, log.New(io.Discard, "", 0), pipefail.WithESGenerations(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndNetwork(t *testing.T) {
+	_, ts := newTestServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health %v", health)
+	}
+	var netInfo map[string]any
+	if code := getJSON(t, ts.URL+"/api/network", &netInfo); code != 200 {
+		t.Fatalf("network status %d", code)
+	}
+	if netInfo["region"] != "A" {
+		t.Fatalf("network %v", netInfo)
+	}
+	if netInfo["test_year"].(float64) != 2009 {
+		t.Fatalf("test year %v", netInfo["test_year"])
+	}
+}
+
+func TestModelListAndTraining(t *testing.T) {
+	_, ts := newTestServer(t)
+	var models []map[string]any
+	if code := getJSON(t, ts.URL+"/api/models", &models); code != 200 {
+		t.Fatalf("models status %d", code)
+	}
+	if len(models) != len(pipefail.Models()) {
+		t.Fatalf("%d models listed", len(models))
+	}
+	for _, m := range models {
+		if m["trained"].(bool) {
+			t.Fatalf("model %v trained before any request", m["name"])
+		}
+	}
+
+	var st map[string]any
+	if code := postJSON(t, ts.URL+"/api/models/Cox/train", nil, &st); code != 200 {
+		t.Fatalf("train status %d: %v", code, st)
+	}
+	if st["auc"].(float64) <= 0.4 {
+		t.Fatalf("train result %v", st)
+	}
+
+	// Unknown model.
+	var e map[string]any
+	if code := postJSON(t, ts.URL+"/api/models/Nope/train", nil, &e); code != 400 {
+		t.Fatalf("unknown model status %d", code)
+	}
+
+	// Now the list shows Cox as trained.
+	if code := getJSON(t, ts.URL+"/api/models", &models); code != 200 {
+		t.Fatal("relist failed")
+	}
+	found := false
+	for _, m := range models {
+		if m["name"] == "Cox" && m["trained"].(bool) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Cox not marked trained")
+	}
+}
+
+func TestRankingEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var ranking []map[string]any
+	if code := getJSON(t, ts.URL+"/api/models/Heuristic-Age/ranking?top=7", &ranking); code != 200 {
+		t.Fatalf("ranking status %d", code)
+	}
+	if len(ranking) != 7 {
+		t.Fatalf("ranking size %d", len(ranking))
+	}
+	prev := 1e18
+	for i, r := range ranking {
+		if int(r["rank"].(float64)) != i+1 {
+			t.Fatalf("rank field %v at %d", r["rank"], i)
+		}
+		score := r["score"].(float64)
+		if score > prev {
+			t.Fatal("ranking not sorted by score")
+		}
+		prev = score
+	}
+	var e map[string]any
+	if code := getJSON(t, ts.URL+"/api/models/Heuristic-Age/ranking?top=zero", &e); code != 400 {
+		t.Fatalf("bad top status %d", code)
+	}
+}
+
+func TestPipeEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	id := s.net.Pipes()[0].ID
+	var pipe map[string]any
+	if code := getJSON(t, ts.URL+"/api/pipes/"+id, &pipe); code != 200 {
+		t.Fatalf("pipe status %d", code)
+	}
+	if pipe["id"] != id || pipe["material"] == "" {
+		t.Fatalf("pipe %v", pipe)
+	}
+	if code := getJSON(t, ts.URL+"/api/pipes/GHOST", nil); code != 404 {
+		t.Fatalf("ghost pipe status %d", code)
+	}
+	// After training, per-pipe scores appear.
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, nil); code != 200 {
+		t.Fatal("train failed")
+	}
+	if code := getJSON(t, ts.URL+"/api/pipes/"+id, &pipe); code != 200 {
+		t.Fatal("pipe refetch failed")
+	}
+	if _, ok := pipe["scores"]; !ok {
+		t.Fatalf("pipe response missing scores: %v", pipe)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := map[string]any{"model": "Logistic", "budget_km": 5}
+	var resp map[string]any
+	if code := postJSON(t, ts.URL+"/api/plan", req, &resp); code != 200 {
+		t.Fatalf("plan status %d: %v", code, resp)
+	}
+	if resp["model"] != "Logistic" {
+		t.Fatalf("plan %v", resp)
+	}
+	if resp["total_km"].(float64) > 5+1e-9 {
+		t.Fatalf("plan exceeds budget: %v", resp)
+	}
+	// Malformed body.
+	r, err := http.Post(ts.URL+"/api/plan", "application/json", bytes.NewBufferString("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 400 {
+		t.Fatalf("malformed body status %d", r.StatusCode)
+	}
+	// No budget at all.
+	var e map[string]any
+	if code := postJSON(t, ts.URL+"/api/plan", map[string]any{"model": "Logistic"}, &e); code != 400 {
+		t.Fatalf("no-budget status %d: %v", code, e)
+	}
+}
+
+func TestCohortsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, by := range []string{"", "material", "age", "diameter"} {
+		var rows []map[string]any
+		if code := getJSON(t, ts.URL+"/api/cohorts?by="+by, &rows); code != 200 {
+			t.Fatalf("cohorts by=%q status %d", by, code)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("cohorts by=%q empty", by)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/api/cohorts?by=phase_of_moon", nil); code != 400 {
+		t.Fatal("unknown dimension must 400")
+	}
+}
+
+func TestHotspotsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var hot []map[string]any
+	if code := getJSON(t, ts.URL+"/api/hotspots?min=1", &hot); code != 200 {
+		t.Fatalf("hotspots status %d", code)
+	}
+	if len(hot) == 0 {
+		t.Fatal("no hotspots at min=1 on a network with failures")
+	}
+	if code := getJSON(t, ts.URL+"/api/hotspots?min=banana", nil); code != 400 {
+		t.Fatal("bad min must 400")
+	}
+}
+
+func TestConcurrentTrainingRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/api/models/Heuristic-Length/train", "application/json", nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			// 200 (trained / cached) or 400 with a retry message are both
+			// acceptable under contention; anything else is a bug.
+			if resp.StatusCode != 200 && resp.StatusCode != 400 {
+				errs <- fmt.Sprintf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Eventually trained and stable.
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Length/train", nil, nil); code != 200 {
+		t.Fatalf("final train status %d", code)
+	}
+}

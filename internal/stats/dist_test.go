@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.975, 0.9999, 1 - 1e-10} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !almostEqual(got, p, 1e-10) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestStudentTCDFAgainstKnown(t *testing.T) {
+	// Reference values from R's pt().
+	cases := []struct{ t, df, want float64 }{
+		{0, 5, 0.5},
+		{2.015048372669157, 5, 0.95},  // qt(0.95, 5)
+		{-2.015048372669157, 5, 0.05}, // symmetry
+		{1.812461122811676, 10, 0.95},
+		{2.262157162740992, 9, 0.975},
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.t, c.df); !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTCDFLargeDFApproachesNormal(t *testing.T) {
+	for _, x := range []float64{-2, -0.5, 0, 1, 2.5} {
+		tv := StudentTCDF(x, 1e6)
+		nv := NormalCDF(x)
+		if !almostEqual(tv, nv, 1e-5) {
+			t.Errorf("t-CDF(df=1e6) at %v = %v, normal = %v", x, tv, nv)
+		}
+	}
+}
+
+func TestStudentTCDFPanicsOnBadDF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for df=0")
+		}
+	}()
+	StudentTCDF(1, 0)
+}
+
+func TestWeibullCDFExponentialSpecialCase(t *testing.T) {
+	// shape=1 reduces to exponential with rate 1/scale.
+	for _, tt := range []float64{0.1, 1, 3, 10} {
+		got := WeibullCDF(tt, 1, 2)
+		want := ExpCDF(tt, 0.5)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("WeibullCDF(%v,1,2) = %v, want %v", tt, got, want)
+		}
+	}
+	if WeibullCDF(-1, 2, 1) != 0 {
+		t.Fatal("negative time must give 0")
+	}
+}
+
+func TestWeibullHazardMonotonicity(t *testing.T) {
+	// shape > 1: increasing hazard (aging); shape < 1: decreasing.
+	hUp1 := WeibullHazard(1, 2.5, 50)
+	hUp2 := WeibullHazard(10, 2.5, 50)
+	if hUp2 <= hUp1 {
+		t.Fatalf("shape>1 hazard must increase: %v vs %v", hUp1, hUp2)
+	}
+	hDn1 := WeibullHazard(1, 0.5, 50)
+	hDn2 := WeibullHazard(10, 0.5, 50)
+	if hDn2 >= hDn1 {
+		t.Fatalf("shape<1 hazard must decrease: %v vs %v", hDn1, hDn2)
+	}
+}
+
+func TestLogisticBasics(t *testing.T) {
+	if got := Logistic(0); got != 0.5 {
+		t.Fatalf("Logistic(0) = %v", got)
+	}
+	if got := Logistic(1000); got != 1 {
+		t.Fatalf("Logistic(1000) = %v, want 1", got)
+	}
+	if got := Logistic(-1000); got != 0 {
+		t.Fatalf("Logistic(-1000) = %v, want 0", got)
+	}
+	// Symmetry: sigma(-x) = 1 - sigma(x).
+	for _, x := range []float64{-3, -0.2, 0.7, 5} {
+		if !almostEqual(Logistic(-x), 1-Logistic(x), 1e-15) {
+			t.Errorf("symmetry violated at %v", x)
+		}
+	}
+}
+
+func TestLog1pExpExtremes(t *testing.T) {
+	if got := Log1pExp(100); got != 100 {
+		t.Fatalf("Log1pExp(100) = %v", got)
+	}
+	if got := Log1pExp(-100); !almostEqual(got, math.Exp(-100), 1e-50) {
+		t.Fatalf("Log1pExp(-100) = %v", got)
+	}
+	if got := Log1pExp(0); !almostEqual(got, math.Ln2, 1e-15) {
+		t.Fatalf("Log1pExp(0) = %v, want ln 2", got)
+	}
+}
+
+// Property: NormalCDF is monotone non-decreasing.
+func TestNormalCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a, b = math.Mod(a, 50), math.Mod(b, 50)
+		if a > b {
+			a, b = b, a
+		}
+		return NormalCDF(a) <= NormalCDF(b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StudentTCDF(t) + StudentTCDF(-t) == 1 (symmetry).
+func TestStudentSymmetryProperty(t *testing.T) {
+	f := func(x float64, dfRaw uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 30)
+		df := float64(dfRaw%60) + 1
+		s := StudentTCDF(x, df) + StudentTCDF(-x, df)
+		return almostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

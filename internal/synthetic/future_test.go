@@ -1,0 +1,128 @@
+package synthetic
+
+import (
+	"testing"
+)
+
+func TestSimulateFutureBaseline(t *testing.T) {
+	cfg := smallConfig(21)
+	net, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := SimulateFuture(cfg, net, truth, 5, nil, Renewal{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 5 {
+		t.Fatalf("years = %d", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			t.Fatalf("negative count %d", c)
+		}
+		total += c
+	}
+	// The future annual failure level should resemble the observed one
+	// (same calibrated hazard, slightly older network): within a factor 2.
+	obsPerYear := float64(net.NumFailures()) / float64(net.ObservedTo-net.ObservedFrom+1)
+	futPerYear := float64(total) / 5
+	if futPerYear < obsPerYear/2 || futPerYear > obsPerYear*2 {
+		t.Fatalf("future rate %v per year vs observed %v; calibration not carried over",
+			futPerYear, obsPerYear)
+	}
+}
+
+func TestSimulateFutureDeterminism(t *testing.T) {
+	cfg := smallConfig(22)
+	net, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SimulateFuture(cfg, net, truth, 3, nil, Renewal{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateFuture(cfg, net, truth, 3, nil, Renewal{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical futures")
+		}
+	}
+}
+
+func TestSimulateFutureReplacementHelps(t *testing.T) {
+	cfg := smallConfig(23)
+	net, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the pipes with the highest true final-year rates — the
+	// oracle policy; it must prevent a solid share of failures.
+	k := net.NumPipes() / 20 // 5%
+	type pr struct {
+		id   string
+		rate float64
+	}
+	prs := make([]pr, net.NumPipes())
+	for i, p := range net.Pipes() {
+		prs[i] = pr{p.ID, truth.FinalYearRate[i]}
+	}
+	// Partial selection of top-k by rate.
+	replaced := map[string]bool{}
+	for n := 0; n < k; n++ {
+		best := -1
+		for i := range prs {
+			if replaced[prs[i].id] {
+				continue
+			}
+			if best < 0 || prs[i].rate > prs[best].rate {
+				best = i
+			}
+		}
+		replaced[prs[best].id] = true
+	}
+
+	base, err := SimulateFuture(cfg, net, truth, 5, nil, Renewal{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := SimulateFuture(cfg, net, truth, 5, replaced, Renewal{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	b, o := sum(base), sum(oracle)
+	if o >= b {
+		t.Fatalf("oracle replacement must reduce failures: base %d, oracle %d", b, o)
+	}
+	// Replacing the truly worst 5% should prevent well over 5% of failures.
+	if prevented := float64(b-o) / float64(b); prevented < 0.10 {
+		t.Fatalf("oracle prevented only %.1f%%", 100*prevented)
+	}
+}
+
+func TestSimulateFutureErrors(t *testing.T) {
+	cfg := smallConfig(24)
+	net, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateFuture(cfg, net, truth, 0, nil, Renewal{}, 1); err == nil {
+		t.Fatal("years=0 must error")
+	}
+	bad := &Truth{Frailty: truth.Frailty[:1]}
+	if _, err := SimulateFuture(cfg, net, bad, 3, nil, Renewal{}, 1); err == nil {
+		t.Fatal("truth size mismatch must error")
+	}
+}

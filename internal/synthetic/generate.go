@@ -1,0 +1,267 @@
+package synthetic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Truth carries the ground-truth quantities of a generated network, kept
+// separate from the dataset so models cannot accidentally see them. Tests
+// and diagnostics use it to check that learned rankings correlate with the
+// true hazard.
+type Truth struct {
+	// Frailty is the per-pipe lognormal frailty multiplier, indexed like
+	// Network.Pipes().
+	Frailty []float64
+	// FinalYearRate is each pipe's true expected failure count in the last
+	// observed year.
+	FinalYearRate []float64
+	// TrueFailures is the number of failures generated before recording
+	// noise dropped a subset.
+	TrueFailures int
+	// CalibratedHazard is the hazard actually used for sampling, i.e. the
+	// configured hazard with GlobalRate rescaled by the calibration pass.
+	// Counterfactual future simulation must use this, not Config.Hazard.
+	CalibratedHazard HazardParams
+}
+
+// Generate builds a network plus its ground truth from the configuration.
+// The same Config (including Seed) always produces identical output.
+func Generate(cfg Config) (*dataset.Network, *Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	pipeRNG := rng.Split()
+	frailtyRNG := rng.Split()
+	failRNG := rng.Split()
+	noiseRNG := rng.Split()
+
+	zones := newSoilZones(rng.Split(), cfg.SoilZones)
+	sideM := math.Sqrt(cfg.AreaKM2) * 1000
+
+	pipes := make([]dataset.Pipe, cfg.NumPipes)
+	for i := range pipes {
+		pipes[i] = genPipe(cfg, pipeRNG, zones, sideM, i)
+	}
+
+	truth := &Truth{
+		Frailty:       make([]float64, cfg.NumPipes),
+		FinalYearRate: make([]float64, cfg.NumPipes),
+	}
+	for i := range truth.Frailty {
+		truth.Frailty[i] = frailtyRNG.LogNormal(0, cfg.Hazard.FrailtySigma)
+	}
+
+	// Calibration pass: compute the expected failure count under the
+	// configured hazard, then rescale so the expectation matches the
+	// preset's target (if one is set).
+	hz := cfg.Hazard
+	if cfg.TargetFailures > 0 {
+		expected := 0.0
+		for i := range pipes {
+			for year := firstActiveYear(&pipes[i], cfg); year <= cfg.ObservedTo; year++ {
+				r, err := hz.AnnualRate(&pipes[i], year, truth.Frailty[i])
+				if err != nil {
+					return nil, nil, err
+				}
+				expected += r
+			}
+		}
+		expected *= 1 - cfg.MissProb
+		if expected <= 0 {
+			return nil, nil, fmt.Errorf("synthetic: zero expected failures; cannot calibrate to %d", cfg.TargetFailures)
+		}
+		hz.GlobalRate *= float64(cfg.TargetFailures) / expected
+	}
+	truth.CalibratedHazard = hz
+
+	var failures []dataset.Failure
+	for i := range pipes {
+		p := &pipes[i]
+		for year := firstActiveYear(p, cfg); year <= cfg.ObservedTo; year++ {
+			rate, err := hz.AnnualRate(p, year, truth.Frailty[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			if year == cfg.ObservedTo {
+				truth.FinalYearRate[i] = rate
+			}
+			// Cap pathological rates: no pipe plausibly averages more than
+			// one event per segment per year.
+			if limit := float64(p.Segments); rate > limit {
+				rate = limit
+			}
+			n := failRNG.Poisson(rate)
+			for e := 0; e < n; e++ {
+				truth.TrueFailures++
+				if noiseRNG.Bernoulli(cfg.MissProb) {
+					continue // event happened but was never recorded
+				}
+				mode := dataset.ModeBreak
+				if failRNG.Bernoulli(0.3) {
+					mode = dataset.ModeLeak
+				}
+				failures = append(failures, dataset.Failure{
+					PipeID:  p.ID,
+					Segment: failRNG.Intn(p.Segments),
+					Year:    year,
+					Day:     1 + failRNG.Intn(365),
+					Mode:    mode,
+				})
+			}
+		}
+	}
+
+	net := dataset.NewNetwork(cfg.Region, cfg.ObservedFrom, cfg.ObservedTo, pipes, failures)
+	if err := net.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("synthetic: generated network invalid: %w", err)
+	}
+	return net, truth, nil
+}
+
+func firstActiveYear(p *dataset.Pipe, cfg Config) int {
+	if p.LaidYear > cfg.ObservedFrom {
+		return p.LaidYear
+	}
+	return cfg.ObservedFrom
+}
+
+func genPipe(cfg Config, rng *stats.RNG, zones *soilZones, sideM float64, i int) dataset.Pipe {
+	var p dataset.Pipe
+	p.ID = fmt.Sprintf("%s-%06d", cfg.Region, i)
+
+	// Laid year: skewed toward the past for LaidSkew > 1.
+	span := float64(cfg.LaidTo - cfg.LaidFrom)
+	frac := math.Pow(rng.Float64(), cfg.LaidSkew)
+	p.LaidYear = cfg.LaidFrom + int(frac*span+0.5)
+
+	// Class, then diameter conditional on class.
+	isCWM := rng.Bernoulli(cfg.CWMFraction)
+	if isCWM {
+		diams := []float64{300, 375, 450, 500, 600, 750}
+		weights := []float64{0.35, 0.25, 0.18, 0.12, 0.07, 0.03}
+		p.DiameterMM = diams[rng.Categorical(weights)]
+	} else {
+		diams := []float64{63, 100, 150, 200, 250}
+		weights := []float64{0.08, 0.37, 0.30, 0.17, 0.08}
+		p.DiameterMM = diams[rng.Categorical(weights)]
+	}
+	p.Class = dataset.ClassForDiameter(p.DiameterMM)
+
+	// Length: lognormal; critical mains run longer.
+	if isCWM {
+		p.LengthM = clamp(rng.LogNormal(math.Log(320), 0.7), 30, 5000)
+	} else {
+		p.LengthM = clamp(rng.LogNormal(math.Log(130), 0.8), 10, 2500)
+	}
+	p.Segments = int(math.Ceil(p.LengthM / cfg.SegmentLengthM))
+	if p.Segments < 1 {
+		p.Segments = 1
+	}
+
+	// Material from the era mix of the laid year.
+	era := cfg.Eras[0]
+	for _, e := range cfg.Eras {
+		if p.LaidYear >= e.FromYear {
+			era = e
+		}
+	}
+	ws := make([]float64, len(era.Mix))
+	for j, m := range era.Mix {
+		ws[j] = m.Weight
+	}
+	p.Material = era.Mix[rng.Categorical(ws)].Material
+
+	p.Coating = genCoating(rng, p.Material)
+
+	// Location and spatially coherent soil.
+	p.X = rng.Uniform(0, sideM)
+	p.Y = rng.Uniform(0, sideM)
+	soil := zones.at(p.X/sideM, p.Y/sideM)
+	p.SoilCorrosivity = soil.corrosivity
+	p.SoilExpansivity = soil.expansivity
+	p.SoilGeology = soil.geology
+	p.SoilMap = soil.soilMap
+
+	p.DistToTrafficM = rng.Exp(1 / cfg.MeanTrafficDistM)
+	return p
+}
+
+func genCoating(rng *stats.RNG, m dataset.Material) dataset.Coating {
+	switch m {
+	case dataset.CI:
+		if rng.Bernoulli(0.5) {
+			return dataset.CoatingTar
+		}
+	case dataset.CICL:
+		if rng.Bernoulli(0.3) {
+			return dataset.CoatingTar
+		}
+	case dataset.DICL:
+		if rng.Bernoulli(0.5) {
+			return dataset.CoatingPESleeve
+		}
+	case dataset.STEEL:
+		if rng.Bernoulli(0.6) {
+			return dataset.CoatingTar
+		}
+	}
+	return dataset.CoatingNone
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// soilZones is a grid of per-cell soil factor draws giving spatially
+// coherent categorical fields.
+type soilZones struct {
+	n     int
+	cells []soilCell
+}
+
+type soilCell struct {
+	corrosivity, expansivity, geology, soilMap string
+}
+
+func newSoilZones(rng *stats.RNG, n int) *soilZones {
+	z := &soilZones{n: n, cells: make([]soilCell, n*n)}
+	corrW := []float64{0.3, 0.4, 0.2, 0.1}
+	expW := []float64{0.35, 0.3, 0.25, 0.1}
+	geoW := []float64{0.35, 0.25, 0.2, 0.15, 0.05}
+	mapW := []float64{0.2, 0.25, 0.25, 0.25, 0.05}
+	for i := range z.cells {
+		z.cells[i] = soilCell{
+			corrosivity: dataset.SoilCorrosivityLevels[rng.Categorical(corrW)],
+			expansivity: dataset.SoilExpansivityLevels[rng.Categorical(expW)],
+			geology:     dataset.SoilGeologyLevels[rng.Categorical(geoW)],
+			soilMap:     dataset.SoilMapLevels[rng.Categorical(mapW)],
+		}
+	}
+	return z
+}
+
+// at returns the cell for normalized coordinates in [0, 1].
+func (z *soilZones) at(u, v float64) soilCell {
+	clampIdx := func(x float64) int {
+		i := int(x * float64(z.n))
+		if i < 0 {
+			i = 0
+		}
+		if i >= z.n {
+			i = z.n - 1
+		}
+		return i
+	}
+	return z.cells[clampIdx(u)*z.n+clampIdx(v)]
+}

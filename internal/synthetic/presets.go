@@ -1,0 +1,226 @@
+package synthetic
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// MaterialShare is one entry of a vintage-conditional material mix.
+type MaterialShare struct {
+	Material dataset.Material
+	Weight   float64
+}
+
+// Era is a commissioning era with its own material mix, reflecting how
+// network composition changed over the twentieth century (cast iron →
+// asbestos cement / CICL → ductile iron and plastics).
+type Era struct {
+	// FromYear is the first laid year of the era (inclusive).
+	FromYear int
+	// Mix is the material distribution for pipes laid in this era.
+	Mix []MaterialShare
+}
+
+// Config fully specifies a synthetic region.
+type Config struct {
+	// Region names the generated network.
+	Region string
+	// Seed drives all randomness; the same Config generates the same data.
+	Seed int64
+	// NumPipes is the registry size.
+	NumPipes int
+	// CWMFraction is the fraction of pipes that are critical mains
+	// (diameter >= 300 mm).
+	CWMFraction float64
+	// LaidFrom and LaidTo bound commissioning years.
+	LaidFrom, LaidTo int
+	// LaidSkew in (0, inf) tilts laid years: 1 = uniform; > 1 concentrates
+	// pipes in earlier years (older networks).
+	LaidSkew float64
+	// ObservedFrom and ObservedTo bound the failure observation window.
+	ObservedFrom, ObservedTo int
+	// AreaKM2 is the square region side used for the spatial layout.
+	AreaKM2 float64
+	// SoilZones is the number of soil-zone cells per axis; soil factors are
+	// constant within a cell, giving the spatial coherence real soil maps
+	// have.
+	SoilZones int
+	// MeanTrafficDistM is the mean distance to the closest intersection.
+	MeanTrafficDistM float64
+	// SegmentLengthM is the nominal segment length used to derive per-pipe
+	// segment counts.
+	SegmentLengthM float64
+	// Eras is the vintage-conditional material mix, sorted by FromYear.
+	Eras []Era
+	// Hazard is the ground-truth failure model.
+	Hazard HazardParams
+	// MissProb is the probability that a real failure never makes it into
+	// the work-order system (recording noise).
+	MissProb float64
+	// TargetFailures, when positive, makes Generate rescale the hazard's
+	// GlobalRate so the expected number of recorded failures over the whole
+	// observation window matches this target. The presets use it to land on
+	// the published failure counts. When scaling a Config down with Scaled,
+	// the target is scaled with it.
+	TargetFailures int
+}
+
+// Validate checks the configuration for obvious inconsistencies.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumPipes <= 0:
+		return fmt.Errorf("synthetic: NumPipes %d must be positive", c.NumPipes)
+	case c.CWMFraction < 0 || c.CWMFraction > 1:
+		return fmt.Errorf("synthetic: CWMFraction %v out of [0,1]", c.CWMFraction)
+	case c.LaidFrom > c.LaidTo:
+		return fmt.Errorf("synthetic: laid window [%d,%d] inverted", c.LaidFrom, c.LaidTo)
+	case c.ObservedFrom > c.ObservedTo:
+		return fmt.Errorf("synthetic: observation window [%d,%d] inverted", c.ObservedFrom, c.ObservedTo)
+	case c.LaidTo > c.ObservedTo:
+		return fmt.Errorf("synthetic: laid window ends %d after observation end %d", c.LaidTo, c.ObservedTo)
+	case c.AreaKM2 <= 0:
+		return fmt.Errorf("synthetic: AreaKM2 %v must be positive", c.AreaKM2)
+	case c.SoilZones <= 0:
+		return fmt.Errorf("synthetic: SoilZones %d must be positive", c.SoilZones)
+	case c.SegmentLengthM <= 0:
+		return fmt.Errorf("synthetic: SegmentLengthM %v must be positive", c.SegmentLengthM)
+	case len(c.Eras) == 0:
+		return fmt.Errorf("synthetic: no eras configured")
+	case c.MissProb < 0 || c.MissProb >= 1:
+		return fmt.Errorf("synthetic: MissProb %v out of [0,1)", c.MissProb)
+	case c.LaidSkew <= 0:
+		return fmt.Errorf("synthetic: LaidSkew %v must be positive", c.LaidSkew)
+	}
+	for i := 1; i < len(c.Eras); i++ {
+		if c.Eras[i].FromYear <= c.Eras[i-1].FromYear {
+			return fmt.Errorf("synthetic: eras not strictly ordered at %d", i)
+		}
+	}
+	return nil
+}
+
+func defaultEras() []Era {
+	return []Era{
+		{FromYear: 0, Mix: []MaterialShare{
+			{dataset.CI, 0.70}, {dataset.CICL, 0.25}, {dataset.STEEL, 0.05}}},
+		{FromYear: 1940, Mix: []MaterialShare{
+			{dataset.CICL, 0.55}, {dataset.CI, 0.15}, {dataset.AC, 0.25}, {dataset.STEEL, 0.05}}},
+		{FromYear: 1965, Mix: []MaterialShare{
+			{dataset.CICL, 0.40}, {dataset.AC, 0.30}, {dataset.DICL, 0.20}, {dataset.STEEL, 0.10}}},
+		{FromYear: 1980, Mix: []MaterialShare{
+			{dataset.DICL, 0.40}, {dataset.PVC, 0.35}, {dataset.CICL, 0.15}, {dataset.HDPE, 0.10}}},
+	}
+}
+
+// RegionA returns the preset for a populous suburban region: the largest
+// network, moderately old, mid population density. Pipe and failure counts
+// are calibrated to land near the published summary of such a region
+// (≈15k pipes, ≈4k failures over a 12-year window, ≈25 % critical mains).
+func RegionA(seed int64) Config {
+	return Config{
+		Region:           "A",
+		Seed:             seed,
+		NumPipes:         15189,
+		CWMFraction:      0.25,
+		LaidFrom:         1930,
+		LaidTo:           1997,
+		LaidSkew:         1.6,
+		ObservedFrom:     1998,
+		ObservedTo:       2009,
+		AreaKM2:          334, // 210k people at 629/km2
+		SoilZones:        12,
+		MeanTrafficDistM: 180,
+		SegmentLengthM:   110,
+		Eras:             defaultEras(),
+		Hazard:           DefaultHazard(),
+		MissProb:         0.03,
+		TargetFailures:   4093,
+	}
+}
+
+// RegionB returns the preset for a dense inner-city region: the oldest and
+// most compact network (≈12k pipes, ≈3.7k failures, ≈21 % critical mains).
+func RegionB(seed int64) Config {
+	h := DefaultHazard()
+	// Dense inner city: more traffic loading, slightly harsher soils.
+	h.TrafficBoost = 0.8
+	h.GlobalRate = 0.0125
+	return Config{
+		Region:           "B",
+		Seed:             seed,
+		NumPipes:         11836,
+		CWMFraction:      0.21,
+		LaidFrom:         1888,
+		LaidTo:           1997,
+		LaidSkew:         2.0,
+		ObservedFrom:     1998,
+		ObservedTo:       2009,
+		AreaKM2:          77, // 182k people at 2374/km2
+		SoilZones:        8,
+		MeanTrafficDistM: 90,
+		SegmentLengthM:   95,
+		Eras:             defaultEras(),
+		Hazard:           h,
+		MissProb:         0.03,
+		TargetFailures:   3694,
+	}
+}
+
+// RegionC returns the preset for a sprawling low-density region: the
+// largest area, a younger network with long reticulation runs (≈18k pipes,
+// ≈4.4k failures, ≈28 % critical mains).
+func RegionC(seed int64) Config {
+	h := DefaultHazard()
+	h.TrafficBoost = 0.45
+	h.GlobalRate = 0.0095
+	return Config{
+		Region:           "C",
+		Seed:             seed,
+		NumPipes:         18001,
+		CWMFraction:      0.28,
+		LaidFrom:         1913,
+		LaidTo:           1997,
+		LaidSkew:         1.2,
+		ObservedFrom:     1998,
+		ObservedTo:       2009,
+		AreaKM2:          683, // 205k people at 300/km2
+		SoilZones:        16,
+		MeanTrafficDistM: 320,
+		SegmentLengthM:   130,
+		Eras:             defaultEras(),
+		Hazard:           h,
+		MissProb:         0.03,
+		TargetFailures:   4421,
+	}
+}
+
+// Preset returns the named region preset ("A", "B" or "C").
+func Preset(name string, seed int64) (Config, error) {
+	switch name {
+	case "A":
+		return RegionA(seed), nil
+	case "B":
+		return RegionB(seed), nil
+	case "C":
+		return RegionC(seed), nil
+	default:
+		return Config{}, fmt.Errorf("synthetic: unknown region preset %q (want A, B or C)", name)
+	}
+}
+
+// Scaled returns a copy of the config with the pipe count scaled by f
+// (0 < f <= 1), for fast tests and examples that do not need full-size
+// regions. Failure statistics scale approximately linearly.
+func (c Config) Scaled(f float64) (Config, error) {
+	if f <= 0 || f > 1 {
+		return Config{}, fmt.Errorf("synthetic: scale factor %v out of (0,1]", f)
+	}
+	out := c
+	out.NumPipes = int(float64(c.NumPipes) * f)
+	if out.NumPipes < 1 {
+		out.NumPipes = 1
+	}
+	out.TargetFailures = int(float64(c.TargetFailures) * f)
+	return out, nil
+}

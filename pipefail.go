@@ -1,0 +1,293 @@
+// Package pipefail is the public API of the reproduction of "Pipe Failure
+// Prediction: A Data Mining Method" (Wang, Dong, Wang, Tang, Yao — ICDE
+// 2013): a ranking-based data-mining toolkit for water-pipe failure
+// prediction.
+//
+// The typical flow is: obtain a network (load a utility export with
+// LoadNetwork, or simulate one with GenerateRegion), build a Pipeline for a
+// temporal split, train any registered model, and consume the resulting
+// Ranking — the ordered list of pipes to inspect — or the evaluation
+// metrics against the held-out year.
+//
+//	net, _ := pipefail.GenerateRegion("A", 42, 0.25)
+//	p, _ := pipefail.NewPipeline(net)
+//	ranking, _ := p.TrainAndRank("DirectAUC-ES")
+//	fmt.Println(ranking.AUC(), ranking.TopIDs(10))
+//
+// The model suite contains the paper's direct-AUC evolutionary ranker plus
+// every compared baseline; Models lists the names.
+package pipefail
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/feature"
+	"repro/internal/synthetic"
+	"repro/internal/tune"
+)
+
+// Network is a region's pipe registry plus failure log.
+type Network = dataset.Network
+
+// Pipe is one water main with its attributes and environmental factors.
+type Pipe = dataset.Pipe
+
+// Failure is one recorded failure event.
+type Failure = dataset.Failure
+
+// Split is a temporal train/test partition.
+type Split = dataset.Split
+
+// Model is the interface every ranker and baseline implements.
+type Model = core.Model
+
+// CurvePoint is one point of a detection or ROC curve.
+type CurvePoint = eval.CurvePoint
+
+// Models returns the names of every available model, paper's method first.
+func Models() []string { return experiments.StandardModelNames() }
+
+// GenerateRegion simulates one of the calibrated metropolitan region
+// presets ("A", "B" or "C") at the given scale (1 = full size, ~12-18k
+// pipes). The same (name, seed, scale) always yields the same network.
+func GenerateRegion(name string, seed int64, scale float64) (*Network, error) {
+	cfg, err := synthetic.Preset(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = cfg.Scaled(scale)
+	if err != nil {
+		return nil, err
+	}
+	net, _, err := synthetic.Generate(cfg)
+	return net, err
+}
+
+// LoadNetwork reads a network from a directory written by SaveNetwork
+// (pipes.csv, failures.csv, meta.csv) and validates it.
+func LoadNetwork(dir string) (*Network, error) { return dataset.LoadDir(dir) }
+
+// SaveNetwork writes a network to a directory as CSV.
+func SaveNetwork(net *Network, dir string) error { return dataset.SaveDir(net, dir) }
+
+// Pipeline binds a network to a temporal split and a fitted feature
+// encoding, and trains models against it.
+type Pipeline struct {
+	net   *Network
+	split Split
+	seed  int64
+
+	builder *feature.Builder
+	train   *feature.Set
+	test    *feature.Set
+	reg     *core.Registry
+}
+
+// PipelineOption customizes NewPipeline.
+type PipelineOption func(*pipelineConfig)
+
+type pipelineConfig struct {
+	split   *Split
+	seed    int64
+	esGens  int
+	groups  feature.Groups
+	haveGrp bool
+}
+
+// WithSplit uses an explicit temporal split instead of the paper default
+// (all years but the last for training).
+func WithSplit(s Split) PipelineOption {
+	return func(c *pipelineConfig) { c.split = &s }
+}
+
+// WithSeed seeds the stochastic learners (default 1).
+func WithSeed(seed int64) PipelineOption {
+	return func(c *pipelineConfig) { c.seed = seed }
+}
+
+// WithESGenerations overrides the DirectAUC evolution budget (useful for
+// quick experiments).
+func WithESGenerations(g int) PipelineOption {
+	return func(c *pipelineConfig) { c.esGens = g }
+}
+
+// WithFeatureGroups restricts the feature groups (see the ablation
+// experiment). The zero Groups value means all groups.
+func WithFeatureGroups(g feature.Groups) PipelineOption {
+	return func(c *pipelineConfig) { c.groups = g; c.haveGrp = true }
+}
+
+// FeatureGroups re-exports the feature-group selector for WithFeatureGroups.
+type FeatureGroups = feature.Groups
+
+// NewPipeline prepares the feature sets for the network under the paper's
+// protocol (or the split given via WithSplit).
+func NewPipeline(net *Network, opts ...PipelineOption) (*Pipeline, error) {
+	if net == nil {
+		return nil, fmt.Errorf("pipefail: nil network")
+	}
+	cfg := pipelineConfig{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var split Split
+	if cfg.split != nil {
+		split = *cfg.split
+	} else {
+		var err error
+		split, err = dataset.PaperSplit(net)
+		if err != nil {
+			return nil, fmt.Errorf("pipefail: %w", err)
+		}
+	}
+	b, err := feature.NewBuilder(net, feature.Options{Groups: cfg.groups, Standardize: true})
+	if err != nil {
+		return nil, fmt.Errorf("pipefail: %w", err)
+	}
+	train, err := b.TrainSet(split)
+	if err != nil {
+		return nil, fmt.Errorf("pipefail: %w", err)
+	}
+	test, err := b.TestSet(split)
+	if err != nil {
+		return nil, fmt.Errorf("pipefail: %w", err)
+	}
+	return &Pipeline{
+		net: net, split: split, seed: cfg.seed,
+		builder: b, train: train, test: test,
+		reg: experiments.NewRegistry(cfg.seed, cfg.esGens),
+	}, nil
+}
+
+// Split returns the pipeline's temporal split.
+func (p *Pipeline) Split() Split { return p.split }
+
+// FeatureNames returns the expanded design-matrix column names.
+func (p *Pipeline) FeatureNames() []string { return p.builder.Names() }
+
+// Train fits a fresh instance of the named model on the training window
+// and returns it.
+func (p *Pipeline) Train(modelName string) (Model, error) {
+	m, err := p.reg.New(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Fit(p.train); err != nil {
+		return nil, fmt.Errorf("pipefail: %w", err)
+	}
+	return m, nil
+}
+
+// Rank scores the held-out year with a fitted model.
+func (p *Pipeline) Rank(m Model) (*Ranking, error) {
+	scores, err := m.Scores(p.test)
+	if err != nil {
+		return nil, fmt.Errorf("pipefail: %w", err)
+	}
+	return p.rankingFromScores(m.Name(), scores), nil
+}
+
+// TrainAndRank is Train followed by Rank.
+func (p *Pipeline) TrainAndRank(modelName string) (*Ranking, error) {
+	m, err := p.Train(modelName)
+	if err != nil {
+		return nil, err
+	}
+	return p.Rank(m)
+}
+
+func (p *Pipeline) rankingFromScores(model string, scores []float64) *Ranking {
+	pipes := p.net.Pipes()
+	r := &Ranking{Model: model, TestYear: p.split.TestYear}
+	for row, idx := range p.test.PipeIdx {
+		r.PipeIDs = append(r.PipeIDs, pipes[idx].ID)
+		r.Scores = append(r.Scores, scores[row])
+		r.Failed = append(r.Failed, p.test.Label[row])
+		r.LengthM = append(r.LengthM, p.test.LengthM[row])
+	}
+	return r
+}
+
+// SelectModel cross-validates the named models on the training window
+// (stratified k-fold over pipe-year instances) and returns the winner's
+// name with the per-model mean validation AUCs, best first. It never
+// touches the held-out test year.
+func (p *Pipeline) SelectModel(names []string, k int) (best string, meanAUC map[string]float64, err error) {
+	if len(names) == 0 {
+		names = Models()
+	}
+	cands := make([]tune.Candidate, 0, len(names))
+	for _, name := range names {
+		name := name
+		if _, err := p.reg.New(name); err != nil {
+			return "", nil, err
+		}
+		cands = append(cands, tune.Candidate{
+			Label: name,
+			Make: func() core.Model {
+				m, _ := p.reg.New(name)
+				return m
+			},
+		})
+	}
+	results, err := tune.SelectByCV(p.train, cands, k, p.seed)
+	if err != nil {
+		return "", nil, fmt.Errorf("pipefail: %w", err)
+	}
+	meanAUC = make(map[string]float64, len(results))
+	for _, r := range results {
+		meanAUC[r.Label] = r.MeanAUC
+	}
+	return results[0].Label, meanAUC, nil
+}
+
+// Ranking is a scored test-year snapshot: one entry per pipe that existed
+// at the test year, aligned across all fields.
+type Ranking struct {
+	Model    string
+	TestYear int
+	PipeIDs  []string
+	Scores   []float64
+	// Failed is the test-year ground truth (available because rankings are
+	// built on held-out historical data; a production deployment would
+	// not have it).
+	Failed  []bool
+	LengthM []float64
+}
+
+// Len returns the number of ranked pipes.
+func (r *Ranking) Len() int { return len(r.PipeIDs) }
+
+// AUC returns the full ROC AUC of the ranking against the test year.
+func (r *Ranking) AUC() float64 { return eval.AUC(r.Scores, r.Failed) }
+
+// DetectionAt returns the fraction of test-year failures caught when
+// inspecting the top frac of pipes.
+func (r *Ranking) DetectionAt(frac float64) float64 {
+	return eval.DetectionAt(r.Scores, r.Failed, frac)
+}
+
+// DetectionAtLength is DetectionAt with the budget measured in network
+// length instead of pipe count.
+func (r *Ranking) DetectionAtLength(frac float64) float64 {
+	return eval.DetectionAtLength(r.Scores, r.Failed, r.LengthM, frac)
+}
+
+// Curve returns the detection curve with the given number of points.
+func (r *Ranking) Curve(points int) []CurvePoint {
+	return eval.DetectionCurve(r.Scores, r.Failed, points)
+}
+
+// TopIDs returns the k highest-risk pipe IDs in rank order.
+func (r *Ranking) TopIDs(k int) []string {
+	idx := eval.TopK(r.Scores, k)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = r.PipeIDs[j]
+	}
+	return out
+}
