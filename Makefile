@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-submit gate: static checks plus the race detector on
+# the concurrency-bearing packages (the parallel training engine, the
+# singleflight HTTP layer and the experiment fan-out).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/serve/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

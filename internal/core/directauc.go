@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -37,6 +38,13 @@ type DirectAUCConfig struct {
 	// convex starting point that it then refines on the exact, not the
 	// surrogate, objective; the ablation bench switches it off.
 	DisableWarmStart bool
+	// Workers bounds the fitness-evaluation worker pool (0 = GOMAXPROCS,
+	// 1 = fully serial). Results are bit-identical for every value: all
+	// RNG draws (batch resampling, parent selection, mutation) stay on
+	// the caller's goroutine in serial order, and only the pure
+	// scoring/AUC evaluations fan out, each offspring writing its own
+	// fitness slot.
+	Workers int
 }
 
 // DefaultDirectAUCConfig returns the defaults used by the experiments.
@@ -142,12 +150,21 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 	// tauSelf is the standard self-adaptation learning rate 1/sqrt(2n).
 	tauSelf := 1 / math.Sqrt(2*float64(dim))
 
+	// Fitness evaluations are pure in the weights given the generation's
+	// batch, so they fan out across the pool; each worker owns a scratch
+	// score buffer so concurrent evaluations never share state. Parent
+	// fitness is first assigned inside the generation loop (generation 0
+	// evaluates every parent on its first batch).
+	pool := parallel.New(d.cfg.Workers)
 	batch := newFitnessBatch(train, pos, neg, batchNeg)
-	for _, p := range parents {
-		p.fit = batch.auc(p.w)
+	scratch := make([][]float64, pool.Workers())
+	for i := range scratch {
+		scratch[i] = make([]float64, len(batch.rows))
 	}
 
 	offspring := make([]esIndividual, 0, d.cfg.Lambda)
+	// merged is the (µ+λ) selection pool, reused every generation.
+	merged := make([]esIndividual, 0, d.cfg.Mu+d.cfg.Lambda)
 	for gen := 0; gen < d.cfg.Generations; gen++ {
 		// Fresh negative sub-sample each generation: all candidates within
 		// a generation share the batch so their fitnesses are comparable,
@@ -156,10 +173,14 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 		batch.resample(rng)
 
 		// Re-evaluate parents on the new batch.
-		for i := range parents {
-			parents[i].fit = batch.auc(parents[i].w)
-		}
+		pool.Run(len(parents), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				parents[i].fit = batch.aucInto(parents[i].w, scratch[w])
+			}
+		})
 
+		// Mutation stays on this goroutine: every RNG draw happens in the
+		// same order as a fully serial run, for any worker count.
 		offspring = offspring[:0]
 		for k := 0; k < d.cfg.Lambda; k++ {
 			p := parents[rng.Intn(len(parents))]
@@ -173,15 +194,22 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 			for j := range child.w {
 				child.w[j] += child.sigma * rng.Norm()
 			}
-			child.fit = batch.auc(child.w)
 			offspring = append(offspring, child)
 		}
+		// Only scoring fans out; each offspring owns its fitness slot.
+		pool.Run(len(offspring), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				offspring[i].fit = batch.aucInto(offspring[i].w, scratch[w])
+			}
+		})
 
 		// (µ+λ) selection: sort the merged pool by fitness (descending)
 		// and keep the best µ as the next parents.
-		all := append(append([]esIndividual(nil), parents...), offspring...)
-		sortByFitnessDesc(all)
-		copy(parents, all[:d.cfg.Mu])
+		merged = merged[:0]
+		merged = append(merged, parents...)
+		merged = append(merged, offspring...)
+		sortByFitnessDesc(merged)
+		copy(parents, merged[:d.cfg.Mu])
 	}
 
 	// Pick the winner, optionally by exact full-set AUC.
@@ -189,7 +217,7 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 	if d.cfg.ExactFinal {
 		bestAUC := math.Inf(-1)
 		for _, p := range parents {
-			scores := scoreAll(train, p.w)
+			scores := scoreAllPar(train, p.w, pool)
 			a := exactAUC(scores, train.Label)
 			if a > bestAUC {
 				bestAUC = a
@@ -199,7 +227,7 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 		}
 		d.TrainAUC = bestAUC
 	} else {
-		d.TrainAUC = exactAUC(scoreAll(train, best.w), train.Label)
+		d.TrainAUC = exactAUC(scoreAllPar(train, best.w, pool), train.Label)
 	}
 	d.W = linalg.Clone(best.w)
 	return nil
@@ -213,14 +241,23 @@ func (d *DirectAUC) Scores(test *feature.Set) ([]float64, error) {
 	if test.Dim() != len(d.W) {
 		return nil, fmt.Errorf("%s: test dim %d != model dim %d", d.Name(), test.Dim(), len(d.W))
 	}
-	return scoreAll(test, d.W), nil
+	return scoreAllPar(test, d.W, parallel.New(d.cfg.Workers)), nil
 }
 
 func scoreAll(s *feature.Set, w []float64) []float64 {
+	return scoreAllPar(s, w, parallel.Pool{})
+}
+
+// scoreAllPar is scoreAll with the row loop fanned out across the pool;
+// each row writes only its own output slot, so the result is identical
+// for any worker count.
+func scoreAllPar(s *feature.Set, w []float64, pool parallel.Pool) []float64 {
 	out := make([]float64, s.Len())
-	for i, row := range s.X {
-		out[i] = linalg.Dot(row, w)
-	}
+	pool.Run(s.Len(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = linalg.Dot(s.X[i], w)
+		}
+	})
 	return out
 }
 
@@ -284,8 +321,14 @@ func (b *fitnessBatch) resample(rng *stats.RNG) {
 }
 
 func (b *fitnessBatch) auc(w []float64) float64 {
+	return b.aucInto(w, b.scores)
+}
+
+// aucInto is auc with a caller-owned score buffer (len(b.rows)), so
+// concurrent evaluations do not contend on the batch's internal scratch.
+func (b *fitnessBatch) aucInto(w, scores []float64) float64 {
 	for i, r := range b.rows {
-		b.scores[i] = linalg.Dot(b.set.X[r], w)
+		scores[i] = linalg.Dot(b.set.X[r], w)
 	}
-	return exactAUC(b.scores, b.labels)
+	return exactAUC(scores, b.labels)
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// workerCounts are the pool sizes every determinism test must agree
+// across: fully serial, small, and whatever the host allows.
+func workerCounts() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+// TestDirectAUCDeterministicAcrossWorkers is the determinism contract of
+// the parallel training engine: the learned weights and training AUC must
+// be bit-identical (not merely close) for any worker count, because all
+// RNG draws stay on the main goroutine and only pure fitness evaluations
+// fan out.
+func TestDirectAUCDeterministicAcrossWorkers(t *testing.T) {
+	train := gaussianSet(3, 400, 0.2, 1.5, 6)
+	var refW []float64
+	var refAUC float64
+	for _, workers := range workerCounts() {
+		m := NewDirectAUC(DirectAUCConfig{Seed: 11, Generations: 15, Workers: workers})
+		if err := m.Fit(train); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if refW == nil {
+			refW = m.W
+			refAUC = m.TrainAUC
+			continue
+		}
+		if m.TrainAUC != refAUC {
+			t.Fatalf("workers=%d: TrainAUC %v != serial %v", workers, m.TrainAUC, refAUC)
+		}
+		for j := range refW {
+			if m.W[j] != refW[j] {
+				t.Fatalf("workers=%d: W[%d] = %v != serial %v", workers, j, m.W[j], refW[j])
+			}
+		}
+	}
+}
+
+// TestDirectAUCScoresDeterministicAcrossWorkers checks the scoring path
+// (used by the exact-final re-rank and Scores) element-for-element.
+func TestDirectAUCScoresDeterministicAcrossWorkers(t *testing.T) {
+	train := gaussianSet(5, 300, 0.25, 2, 5)
+	test := gaussianSet(6, 150, 0.25, 2, 5)
+	var ref []float64
+	for _, workers := range workerCounts() {
+		m := NewDirectAUC(DirectAUCConfig{Seed: 2, Generations: 8, Workers: workers})
+		if err := m.Fit(train); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		scores, err := m.Scores(test)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = scores
+			continue
+		}
+		for i := range ref {
+			if scores[i] != ref[i] {
+				t.Fatalf("workers=%d: score[%d] = %v != serial %v", workers, i, scores[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRankBoostDeterministicAcrossWorkers checks that the parallel stump
+// search selects exactly the stumps a serial scan selects (same features,
+// thresholds, signs and alphas) and that scoring matches bit-for-bit.
+func TestRankBoostDeterministicAcrossWorkers(t *testing.T) {
+	train := gaussianSet(7, 400, 0.2, 1.5, 6)
+	test := gaussianSet(8, 120, 0.2, 1.5, 6)
+	var refStumps []stump
+	var refScores []float64
+	for _, workers := range workerCounts() {
+		m := NewRankBoost(RankBoostConfig{Rounds: 25, Workers: workers})
+		if err := m.Fit(train); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		scores, err := m.Scores(test)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if refStumps == nil {
+			refStumps = m.stumps
+			refScores = scores
+			continue
+		}
+		if len(m.stumps) != len(refStumps) {
+			t.Fatalf("workers=%d: %d stumps != serial %d", workers, len(m.stumps), len(refStumps))
+		}
+		for i, st := range m.stumps {
+			if st != refStumps[i] {
+				t.Fatalf("workers=%d: stump %d = %+v != serial %+v", workers, i, st, refStumps[i])
+			}
+		}
+		for i := range refScores {
+			if scores[i] != refScores[i] {
+				t.Fatalf("workers=%d: score[%d] = %v != serial %v", workers, i, scores[i], refScores[i])
+			}
+		}
+	}
+}
+
+// TestRankNetScoresDeterministicAcrossWorkers checks the parallel forward
+// pass (training is always serial SGD).
+func TestRankNetScoresDeterministicAcrossWorkers(t *testing.T) {
+	train := gaussianSet(9, 300, 0.25, 1.5, 5)
+	test := gaussianSet(10, 130, 0.25, 1.5, 5)
+	var ref []float64
+	for _, workers := range workerCounts() {
+		m := NewRankNet(RankNetConfig{Seed: 4, Epochs: 3, PairsPerEpoch: 500, Workers: workers})
+		if err := m.Fit(train); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		scores, err := m.Scores(test)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = scores
+			continue
+		}
+		for i := range ref {
+			if scores[i] != ref[i] {
+				t.Fatalf("workers=%d: score[%d] = %v != serial %v", workers, i, scores[i], ref[i])
+			}
+		}
+	}
+}

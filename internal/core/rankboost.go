@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/feature"
+	"repro/internal/parallel"
 )
 
 // RankBoostConfig tunes the bipartite RankBoost learner.
@@ -15,6 +16,11 @@ type RankBoostConfig struct {
 	// Thresholds is the number of candidate thresholds examined per
 	// feature per round (default 16 quantile cuts).
 	Thresholds int
+	// Workers bounds the stump-search and scoring worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Results are bit-identical for every
+	// value: workers scan disjoint feature ranges and the cross-feature
+	// argmax is reduced serially in feature order.
+	Workers int
 }
 
 func (c *RankBoostConfig) fillDefaults() {
@@ -93,29 +99,50 @@ func (m *RankBoost) Fit(train *feature.Set) error {
 		vNeg[j] = 1 / float64(len(neg))
 	}
 
+	// perFeature[j] holds feature j's best stump for the current round;
+	// the search fans out over disjoint feature ranges (vPos/vNeg are
+	// read-only during the scan) and the winner is reduced serially in
+	// feature order, so the selected stump matches a serial scan exactly.
+	type featureBest struct {
+		r  float64
+		st stump
+	}
+	pool := parallel.New(m.cfg.Workers)
+	perFeature := make([]featureBest, dim)
+
 	m.stumps = m.stumps[:0]
 	for round := 0; round < m.cfg.Rounds; round++ {
-		best, bestR := stump{}, 0.0
 		// r(h) = Σ_i vPos[i] h(x_i) − Σ_j vNeg[j] h(x_j); maximize |r|.
+		pool.Run(dim, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				fb := featureBest{}
+				for _, c := range cuts[j] {
+					r := 0.0
+					for k, i := range pos {
+						if train.X[i][j] > c {
+							r += vPos[k]
+						}
+					}
+					for k, i := range neg {
+						if train.X[i][j] > c {
+							r -= vNeg[k]
+						}
+					}
+					// Σ vPos = Σ vNeg after normalization, so the inverted
+					// stump has ratio −r; searching |r| covers both.
+					if math.Abs(r) > math.Abs(fb.r) {
+						fb.r = r
+						fb.st = stump{FeatureIdx: j, Threshold: c, Inverted: r < 0}
+					}
+				}
+				perFeature[j] = fb
+			}
+		})
+		best, bestR := stump{}, 0.0
 		for j := 0; j < dim; j++ {
-			for _, c := range cuts[j] {
-				r := 0.0
-				for k, i := range pos {
-					if train.X[i][j] > c {
-						r += vPos[k]
-					}
-				}
-				for k, i := range neg {
-					if train.X[i][j] > c {
-						r -= vNeg[k]
-					}
-				}
-				// Σ vPos = Σ vNeg after normalization, so the inverted
-				// stump has ratio −r; searching |r| covers both.
-				if math.Abs(r) > math.Abs(bestR) {
-					bestR = r
-					best = stump{FeatureIdx: j, Threshold: c, Inverted: r < 0}
-				}
+			if math.Abs(perFeature[j].r) > math.Abs(bestR) {
+				bestR = perFeature[j].r
+				best = perFeature[j].st
 			}
 		}
 		absR := math.Abs(bestR)
@@ -153,13 +180,15 @@ func (m *RankBoost) Scores(test *feature.Set) ([]float64, error) {
 		return nil, fmt.Errorf("%s: Scores before Fit", m.Name())
 	}
 	out := make([]float64, test.Len())
-	for i, row := range test.X {
-		s := 0.0
-		for _, st := range m.stumps {
-			s += st.Alpha * st.eval(row)
+	parallel.New(m.cfg.Workers).Run(test.Len(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for _, st := range m.stumps {
+				s += st.Alpha * st.eval(test.X[i])
+			}
+			out[i] = s
 		}
-		out[i] = s
-	}
+	})
 	return out, nil
 }
 

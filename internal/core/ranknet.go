@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -24,6 +25,11 @@ type RankNetConfig struct {
 	LearningRate float64
 	// Lambda is the L2 regularization (default 1e-5).
 	Lambda float64
+	// Workers bounds the scoring worker pool (0 = GOMAXPROCS, 1 = serial).
+	// Training is inherently sequential SGD and always runs serially;
+	// scoring is a pure per-row forward pass, so results are bit-identical
+	// for every worker count.
+	Workers int
 }
 
 func (c *RankNetConfig) fillDefaults(numPos int) {
@@ -147,9 +153,11 @@ func (m *RankNet) Scores(test *feature.Set) ([]float64, error) {
 		return nil, fmt.Errorf("%s: test dim %d != model dim %d", m.Name(), test.Dim(), len(m.w1[0]))
 	}
 	out := make([]float64, test.Len())
-	for i, row := range test.X {
-		s, _ := m.forward(row)
-		out[i] = s
-	}
+	parallel.New(m.cfg.Workers).Run(test.Len(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, _ := m.forward(test.X[i])
+			out[i] = s
+		}
+	})
 	return out, nil
 }

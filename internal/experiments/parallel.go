@@ -2,20 +2,19 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/feature"
+	"repro/internal/parallel"
 )
 
 // EvaluateSplitParallel is EvaluateSplit with the per-model work fanned out
-// across a bounded worker pool. Feature sets are built once and shared
-// read-only; every model is independent and deterministic, so results are
-// identical to the sequential runner (wall-clock timings aside). Results
-// come back in the order of names.
+// across the bounded worker pool in internal/parallel. Feature sets are
+// built once and shared read-only; every model is independent and
+// deterministic, so results are identical to the sequential runner
+// (wall-clock timings aside). Results come back in the order of names.
 func EvaluateSplitParallel(net *dataset.Network, split dataset.Split, reg *core.Registry, names []string, groups feature.Groups) ([]ModelEval, error) {
 	b, err := feature.NewBuilder(net, feature.Options{Groups: groups, Standardize: true})
 	if err != nil {
@@ -30,35 +29,13 @@ func EvaluateSplitParallel(net *dataset.Network, split dataset.Split, reg *core.
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(names) {
-		workers = len(names)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type job struct {
-		idx  int
-		name string
-	}
-	jobs := make(chan job)
+	// Dynamic assignment: per-model cost is wildly uneven (ES vs
+	// closed-form baselines), and every model writes only its own slot.
 	results := make([]ModelEval, len(names))
 	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				results[j.idx], errs[j.idx] = evalOne(net, reg, j.name, train, test)
-			}
-		}()
-	}
-	for i, name := range names {
-		jobs <- job{i, name}
-	}
-	close(jobs)
-	wg.Wait()
+	parallel.New(0).ForEachDynamic(len(names), func(i int) {
+		results[i], errs[i] = evalOne(net, reg, names[i], train, test)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

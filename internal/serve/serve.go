@@ -19,23 +19,36 @@ import (
 )
 
 // Server wires one network and its pipeline into an http.Handler.
-// All handlers are safe for concurrent use; model training is serialized
-// per model name.
+// All handlers are safe for concurrent use; model training is
+// singleflighted per model name: the first request trains, concurrent
+// requests for the same model block on the in-flight run and share its
+// outcome instead of being refused.
 type Server struct {
 	net  *pipefail.Network
 	pipe *pipefail.Pipeline
 	log  *log.Logger
 
-	mu       sync.RWMutex
-	models   map[string]*trainedModel
-	training map[string]bool
+	mu      sync.RWMutex
+	models  map[string]*trainedModel
+	pending map[string]*trainJob
 }
 
 type trainedModel struct {
-	model      pipefail.Model
-	ranking    *pipefail.Ranking
+	model   pipefail.Model
+	ranking *pipefail.Ranking
+	// rankIdx maps pipe ID → row in ranking, built once at train time so
+	// per-request handlers never scan PipeIDs.
+	rankIdx    map[string]int
 	calibrator core.Calibrator
 	fitSeconds float64
+}
+
+// trainJob is the singleflight slot for one model name: done is closed
+// when the training run finishes, after tm and err are set.
+type trainJob struct {
+	done chan struct{}
+	tm   *trainedModel
+	err  error
 }
 
 // New builds a Server around the network. Options mirror
@@ -50,11 +63,11 @@ func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOpt
 		logger = log.Default()
 	}
 	return &Server{
-		net:      net,
-		pipe:     p,
-		log:      logger,
-		models:   make(map[string]*trainedModel),
-		training: make(map[string]bool),
+		net:     net,
+		pipe:    p,
+		log:     logger,
+		models:  make(map[string]*trainedModel),
+		pending: make(map[string]*trainJob),
 	}, nil
 }
 
@@ -138,60 +151,69 @@ func knownModel(name string) bool {
 	return false
 }
 
-// get returns the trained model, training it on first use.
+// get returns the trained model, training it on first use. Exactly one
+// goroutine trains any given model; concurrent callers block on the
+// in-flight job's done channel and share its result, so the HTTP layer
+// degrades to queueing (not errors) under concurrent load. A failed run
+// is not cached: its waiters all receive the error, and the next request
+// starts a fresh attempt.
 func (s *Server) get(name string) (*trainedModel, error) {
 	if !knownModel(name) {
 		return nil, fmt.Errorf("unknown model %q", name)
 	}
-	s.mu.RLock()
-	tm, ok := s.models[name]
-	s.mu.RUnlock()
-	if ok {
-		return tm, nil
-	}
-	// Serialize training per model while allowing reads to continue.
 	s.mu.Lock()
-	if tm, ok = s.models[name]; ok {
+	if tm, ok := s.models[name]; ok {
 		s.mu.Unlock()
 		return tm, nil
 	}
-	if s.training[name] {
+	if job, ok := s.pending[name]; ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("model %q is being trained, retry shortly", name)
+		<-job.done
+		return job.tm, job.err
 	}
-	s.training[name] = true
+	job := &trainJob{done: make(chan struct{})}
+	s.pending[name] = job
 	s.mu.Unlock()
 
-	start := time.Now()
-	m, err := s.pipe.Train(name)
-	if err == nil {
-		var ranking *pipefail.Ranking
-		ranking, err = s.pipe.Rank(m)
-		if err == nil {
-			cal := &core.IsotonicCalibrator{}
-			if cerr := cal.FitCal(ranking.Scores, ranking.Failed); cerr != nil {
-				// Calibration failure is non-fatal: plans fall back to
-				// rank-only probabilities.
-				s.log.Printf("serve: calibration for %s failed: %v", name, cerr)
-				cal = nil
-			}
-			tm = &trainedModel{
-				model: m, ranking: ranking,
-				fitSeconds: time.Since(start).Seconds(),
-			}
-			if cal != nil {
-				tm.calibrator = cal
-			}
-		}
-	}
+	job.tm, job.err = s.train(name)
+
 	s.mu.Lock()
-	delete(s.training, name)
-	if err == nil {
-		s.models[name] = tm
+	delete(s.pending, name)
+	if job.err == nil {
+		s.models[name] = job.tm
 	}
 	s.mu.Unlock()
+	close(job.done)
+	return job.tm, job.err
+}
+
+// train runs one full training pass for name and assembles the servable
+// model with its precomputed pipe-ID index. It does not touch Server maps.
+func (s *Server) train(name string) (*trainedModel, error) {
+	start := time.Now()
+	m, err := s.pipe.Train(name)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
+	}
+	ranking, err := s.pipe.Rank(m)
+	if err != nil {
+		return nil, fmt.Errorf("training %q: %w", name, err)
+	}
+	tm := &trainedModel{
+		model: m, ranking: ranking,
+		rankIdx:    make(map[string]int, ranking.Len()),
+		fitSeconds: time.Since(start).Seconds(),
+	}
+	for i, id := range ranking.PipeIDs {
+		tm.rankIdx[id] = i
+	}
+	cal := &core.IsotonicCalibrator{}
+	if cerr := cal.FitCal(ranking.Scores, ranking.Failed); cerr != nil {
+		// Calibration failure is non-fatal: plans fall back to rank-only
+		// probabilities.
+		s.log.Printf("serve: calibration for %s failed: %v", name, cerr)
+	} else {
+		tm.calibrator = cal
 	}
 	s.log.Printf("serve: trained %s in %.2fs (AUC %.4f)", name, tm.fitSeconds, tm.ranking.AUC())
 	return tm, nil
@@ -234,13 +256,9 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ids := tm.ranking.TopIDs(top)
-	pos := make(map[string]int, tm.ranking.Len())
-	for i, id := range tm.ranking.PipeIDs {
-		pos[id] = i
-	}
 	out := make([]rankedPipe, 0, len(ids))
 	for i, id := range ids {
-		rp := rankedPipe{Rank: i + 1, PipeID: id, Score: tm.ranking.Scores[pos[id]]}
+		rp := rankedPipe{Rank: i + 1, PipeID: id, Score: tm.ranking.Scores[tm.rankIdx[id]]}
 		if tm.calibrator != nil {
 			rp.FailProb = tm.calibrator.Prob(rp.Score)
 		}
@@ -271,11 +289,8 @@ func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 	scores := map[string]float64{}
 	s.mu.RLock()
 	for name, tm := range s.models {
-		for i, pid := range tm.ranking.PipeIDs {
-			if pid == id {
-				scores[name] = tm.ranking.Scores[i]
-				break
-			}
+		if i, ok := tm.rankIdx[id]; ok {
+			scores[name] = tm.ranking.Scores[i]
 		}
 	}
 	s.mu.RUnlock()

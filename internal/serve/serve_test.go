@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -241,10 +242,25 @@ func TestHotspotsEndpoint(t *testing.T) {
 }
 
 func TestConcurrentTrainingRequests(t *testing.T) {
-	_, ts := newTestServer(t)
+	// A dedicated server whose log feeds a buffer, so the test can count
+	// training runs. log.Logger serializes writes; the buffer is only read
+	// after every request has completed.
+	net, err := pipefail.GenerateRegion("A", 5, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	s, err := New(net, log.New(&logBuf, "", 0), pipefail.WithESGenerations(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const requests = 8
 	var wg sync.WaitGroup
-	errs := make(chan string, 16)
-	for i := 0; i < 8; i++ {
+	errs := make(chan string, requests)
+	for i := 0; i < requests; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -254,10 +270,12 @@ func TestConcurrentTrainingRequests(t *testing.T) {
 				return
 			}
 			defer resp.Body.Close()
-			// 200 (trained / cached) or 400 with a retry message are both
-			// acceptable under contention; anything else is a bug.
-			if resp.StatusCode != 200 && resp.StatusCode != 400 {
-				errs <- fmt.Sprintf("status %d", resp.StatusCode)
+			// Singleflight contract: every concurrent request succeeds —
+			// the first trains, the rest block on the in-flight run. No
+			// "retry shortly" refusals.
+			if resp.StatusCode != 200 {
+				body, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Sprintf("status %d: %s", resp.StatusCode, body)
 			}
 		}()
 	}
@@ -266,7 +284,11 @@ func TestConcurrentTrainingRequests(t *testing.T) {
 	for e := range errs {
 		t.Fatal(e)
 	}
-	// Eventually trained and stable.
+	// Exactly one training run served all eight requests.
+	if got := strings.Count(logBuf.String(), "serve: trained Heuristic-Length"); got != 1 {
+		t.Fatalf("training ran %d times, want exactly 1; log:\n%s", got, logBuf.String())
+	}
+	// Still trained and stable afterwards.
 	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Length/train", nil, nil); code != 200 {
 		t.Fatalf("final train status %d", code)
 	}
