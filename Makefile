@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test verify bench
+.PHONY: build test verify fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -8,12 +9,21 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-submit gate: static checks plus the race detector on
-# the concurrency-bearing packages (the parallel training engine, the
-# singleflight HTTP layer and the experiment fan-out).
+# verify is the pre-submit gate: static checks, the race detector on the
+# concurrency-bearing packages (the parallel training engine, the metrics
+# registry, the singleflight HTTP layer and the experiment fan-out), and
+# a short fuzz pass over the CSV parsers.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/serve/... ./internal/experiments/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/experiments/...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each dataset fuzzer briefly (FUZZTIME per target) —
+# enough to replay the corpus and shake out shallow regressions without
+# holding up the gate.
+fuzz-smoke:
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadPipes$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadFailures$$' -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

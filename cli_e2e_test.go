@@ -5,11 +5,19 @@ package pipefail
 // pipeeval experiment and a riskmap render. Skipped under -short.
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // buildCmds compiles every cmd/ binary into a temp dir and returns their
@@ -18,7 +26,7 @@ func buildCmds(t *testing.T) map[string]string {
 	t.Helper()
 	dir := t.TempDir()
 	out := map[string]string{}
-	for _, name := range []string{"pipegen", "pipetrain", "pipeeval", "riskmap"} {
+	for _, name := range []string{"pipegen", "pipetrain", "pipeeval", "riskmap", "pipeserve"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -84,6 +92,32 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "T1: pipe network") {
 		t.Fatalf("pipeeval output:\n%s", out)
 	}
+	if strings.Contains(out, "== metrics ==") {
+		t.Fatalf("metrics snapshot printed without -metrics:\n%s", out)
+	}
+
+	// 3b. -metrics appends a JSON snapshot with fit timings and pool
+	// counters after an evaluation run.
+	out = runCmd(t, bins["pipeeval"],
+		"-exp", "T2", "-scale", "0.04", "-regions", "A", "-seed", "3",
+		"-models", "Heuristic-Age,Logistic", "-metrics")
+	idx := strings.Index(out, "== metrics ==")
+	if idx < 0 {
+		t.Fatalf("pipeeval -metrics missing snapshot:\n%s", out)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(out[idx+len("== metrics =="):]), &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v\n%s", err, out[idx:])
+	}
+	if h, ok := snap.Histograms["core.fit_seconds.Logistic"]; !ok || h.Count < 1 {
+		t.Fatalf("snapshot missing core.fit_seconds.Logistic: %+v", snap.Histograms)
+	}
+	if _, ok := snap.Histograms["experiments.eval_seconds.A.Logistic"]; !ok {
+		t.Fatalf("snapshot missing experiments.eval_seconds.A.Logistic: %+v", snap.Histograms)
+	}
+	if snap.Counters["parallel.run.calls"]+snap.Counters["parallel.dynamic.calls"] < 1 {
+		t.Fatalf("snapshot missing parallel pool counters: %+v", snap.Counters)
+	}
 
 	// 4. Risk map SVG.
 	svgPath := filepath.Join(work, "map.svg")
@@ -98,5 +132,169 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(svg), "<svg") {
 		t.Fatal("riskmap did not produce an SVG")
+	}
+}
+
+// serveRequest performs one HTTP call against the spawned pipeserve
+// binary and returns status code and body.
+func serveRequest(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestServeEndToEnd builds and launches the pipeserve binary on an
+// ephemeral port, drives the train → ranking → plan workflow over real
+// HTTP, and asserts GET /metrics reports the traffic it just served:
+// request latency histograms per route, train singleflight counters, and
+// the per-model fit-duration histogram.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+
+	cmd := exec.Command(bins["pipeserve"],
+		"-region", "A", "-seed", "5", "-scale", "0.04", "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The server logs "listening on HOST:PORT" once the ephemeral port
+	// is bound; scrape it to find the base URL.
+	var base string
+	var startup []string
+	sc := bufio.NewScanner(stderr)
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() && time.Now().Before(deadline) {
+		line := sc.Text()
+		startup = append(startup, line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("pipeserve never reported its address; startup log:\n%s",
+			strings.Join(startup, "\n"))
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	// Happy path: train, rank, plan.
+	status, body := serveRequest(t, "POST", base+"/api/models/Logistic/train", "")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("auc")) {
+		t.Fatalf("train: status %d body %s", status, body)
+	}
+	status, body = serveRequest(t, "GET", base+"/api/models/Logistic/ranking?top=5", "")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("pipe_id")) {
+		t.Fatalf("ranking: status %d body %s", status, body)
+	}
+	status, body = serveRequest(t, "POST", base+"/api/plan",
+		`{"model":"Logistic","budget_km":3}`)
+	if status != http.StatusOK || !bytes.Contains(body, []byte("total_km")) {
+		t.Fatalf("plan: status %d body %s", status, body)
+	}
+
+	// Error paths surface as JSON 4xx and feed the error counters.
+	status, _ = serveRequest(t, "GET", base+"/api/models/NoSuchModel/ranking", "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown model: want 400, got %d", status)
+	}
+	status, _ = serveRequest(t, "POST", base+"/api/plan",
+		`{"model":"Logistic","budget_km":-4}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad budget: want 400, got %d", status)
+	}
+
+	// The metrics snapshot must reflect everything above.
+	status, body = serveRequest(t, "GET", base+"/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d body %s", status, body)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v\n%s", err, body)
+	}
+	for _, route := range []string{"train", "ranking", "plan"} {
+		if h, ok := snap.Histograms["serve.request_seconds."+route]; !ok || h.Count < 1 {
+			t.Errorf("missing request latency histogram for %s: %+v", route, snap.Histograms)
+		}
+		if snap.Counters["serve.requests."+route] < 1 {
+			t.Errorf("missing request counter for %s: %+v", route, snap.Counters)
+		}
+	}
+	if snap.Counters["serve.train.singleflight.misses"] < 1 {
+		t.Errorf("train singleflight misses not recorded: %+v", snap.Counters)
+	}
+	if h, ok := snap.Histograms["core.fit_seconds.Logistic"]; !ok || h.Count < 1 {
+		t.Errorf("per-model fit duration missing: %+v", snap.Histograms)
+	}
+	if snap.Counters["serve.errors.ranking"] < 1 || snap.Counters["serve.errors.plan"] < 1 {
+		t.Errorf("error counters did not move: %+v", snap.Counters)
+	}
+}
+
+// TestServeMetricsDisabled verifies -metrics=false hides the endpoint.
+func TestServeMetricsDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	cmd := exec.Command(bins["pipeserve"],
+		"-region", "A", "-seed", "5", "-scale", "0.04",
+		"-addr", "127.0.0.1:0", "-metrics=false")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if i := strings.Index(sc.Text(), "listening on "); i >= 0 {
+			base = "http://" + strings.TrimSpace(sc.Text()[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("pipeserve never reported its address")
+	}
+	go io.Copy(io.Discard, stderr)
+	status, _ := serveRequest(t, "GET", base+"/metrics", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("-metrics=false: want 404 from /metrics, got %d", status)
+	}
+	if status, _ = serveRequest(t, "GET", base+"/healthz", ""); status != http.StatusOK {
+		t.Fatalf("healthz should stay up without metrics, got %d", status)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	models := flag.String("models", "", "comma-separated model subset (default: full suite)")
 	esGens := flag.Int("esgens", 0, "override DirectAUC ES generations (0 = default)")
 	svgOut := flag.String("riskmap", "riskmap.svg", "output path for the F4 SVG")
+	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot (fit durations, ES progress, pool task counts) after the run")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -192,6 +194,13 @@ func main() {
 			rm.Region, rm.Model, *svgOut, 100*rm.TopDecileHit)
 		return nil
 	})
+
+	if *metrics {
+		fmt.Println("== metrics ==")
+		if err := obs.Default().Snapshot().WriteJSON(os.Stdout); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
 }
 
 func splitList(s string) []string {

@@ -15,11 +15,13 @@
 //	GET  /api/models/{name}/ranking?top=N
 //	GET  /api/pipes/{id}
 //	POST /api/plan  {"model": "...", "budget_km": 10}
+//	GET  /metrics   (JSON metrics snapshot; disable with -metrics=false)
 package main
 
 import (
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"time"
 
@@ -35,30 +37,52 @@ func main() {
 	region := flag.String("region", "A", "synthetic region preset when -data is unset")
 	seed := flag.Int64("seed", 1, "generator / learner seed")
 	scale := flag.Float64("scale", 0.25, "synthetic region scale")
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	metrics := flag.Bool("metrics", true, "expose the GET /metrics observability endpoint")
 	flag.Parse()
 
-	var net *pipefail.Network
+	var network *pipefail.Network
 	var err error
 	if *data != "" {
-		net, err = pipefail.LoadNetwork(*data)
+		network, err = pipefail.LoadNetwork(*data)
 	} else {
-		net, err = pipefail.GenerateRegion(*region, *seed, *scale)
+		network, err = pipefail.GenerateRegion(*region, *seed, *scale)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving region %s: %d pipes, %d failures", net.Region, net.NumPipes(), net.NumFailures())
+	log.Printf("serving region %s: %d pipes, %d failures", network.Region, network.NumPipes(), network.NumFailures())
 
-	s, err := serve.New(net, log.Default(), pipefail.WithSeed(*seed))
+	s, err := serve.New(network, log.Default(), pipefail.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler := s.Handler()
+	if !*metrics {
+		handler = withoutMetrics(handler)
+	}
+	// Listen explicitly (instead of ListenAndServe) so :0 resolves to a
+	// real port before the "listening on" line — the e2e test and local
+	// scripting both scrape the bound address from it.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("listening on %s", ln.Addr())
+	log.Fatal(srv.Serve(ln))
+}
+
+// withoutMetrics hides GET /metrics when the flag disables it.
+func withoutMetrics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }

@@ -6,8 +6,16 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+)
+
+// ES progress metrics, accumulated once per Fit (never inside the
+// per-offspring loops) so instrumentation stays off the hot path.
+var (
+	esGenerations  = obs.Default().Counter("core.es.generations")
+	esFitnessEvals = obs.Default().Counter("core.es.fitness_evals")
 )
 
 // DirectAUCConfig tunes the evolution strategy behind DirectAUC.
@@ -211,6 +219,9 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 		sortByFitnessDesc(merged)
 		copy(parents, merged[:d.cfg.Mu])
 	}
+
+	esGenerations.Add(int64(d.cfg.Generations))
+	esFitnessEvals.Add(int64(d.cfg.Generations * (d.cfg.Mu + d.cfg.Lambda)))
 
 	// Pick the winner, optionally by exact full-set AUC.
 	best := parents[0]

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -66,6 +67,11 @@ func ReadPipes(r io.Reader) ([]Pipe, error) {
 		return nil, err
 	}
 	var pipes []Pipe
+	// A duplicated pipe ID would make every ID-keyed structure downstream
+	// (failure joins, rank indexes) silently drop rows, so the parser
+	// rejects it here rather than deferring to network validation
+	// (found by FuzzReadPipes).
+	seen := make(map[string]int)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -78,6 +84,10 @@ func ReadPipes(r io.Reader) ([]Pipe, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: pipe line %d: %w", line, err)
 		}
+		if prev, dup := seen[p.ID]; dup {
+			return nil, fmt.Errorf("dataset: pipe line %d: duplicate pipe ID %q (first seen on line %d)", line, p.ID, prev)
+		}
+		seen[p.ID] = line
 		pipes = append(pipes, p)
 	}
 	return pipes, nil
@@ -86,6 +96,9 @@ func ReadPipes(r io.Reader) ([]Pipe, error) {
 func parsePipe(rec []string) (Pipe, error) {
 	var p Pipe
 	var err error
+	if rec[0] == "" {
+		return p, fmt.Errorf("empty pipe id")
+	}
 	p.ID = rec[0]
 	if p.Class, err = ParsePipeClass(rec[1]); err != nil {
 		return p, err
@@ -290,6 +303,12 @@ func parseFloat(field, s string) (float64, error) {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("field %s: %w", field, err)
+	}
+	// strconv accepts "NaN" and "Inf" spellings; no pipe attribute is
+	// legitimately non-finite, and silently admitting them poisons every
+	// downstream statistic (found by FuzzReadPipes).
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("field %s: non-finite value %q", field, s)
 	}
 	return v, nil
 }

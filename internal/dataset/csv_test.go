@@ -59,6 +59,63 @@ func TestReadPipesRejectsBadField(t *testing.T) {
 	}
 }
 
+// pipeRow renders one pipe data row under the canonical header, with
+// field overrides by column name — the helper behind the parser
+// hardening tests (non-finite floats, duplicate/empty IDs).
+func pipeRow(t *testing.T, overrides map[string]string) string {
+	t.Helper()
+	base := map[string]string{
+		"id": "P1", "class": "CWM", "material": "CICL", "coating": "NONE",
+		"diameter_mm": "375", "length_m": "100", "laid_year": "1970",
+		"soil_corrosivity": "high", "soil_expansivity": "low",
+		"soil_geology": "clay", "soil_map": "Z1", "dist_traffic_m": "5",
+		"x": "0", "y": "0", "segments": "4",
+	}
+	for k, v := range overrides {
+		if _, ok := base[k]; !ok {
+			t.Fatalf("unknown column %q", k)
+		}
+		base[k] = v
+	}
+	cells := make([]string, len(pipeHeader))
+	for i, h := range pipeHeader {
+		cells[i] = base[h]
+	}
+	return strings.Join(cells, ",") + "\n"
+}
+
+func TestReadPipesRejectsNonFiniteFloats(t *testing.T) {
+	header := strings.Join(pipeHeader, ",") + "\n"
+	for _, tc := range []struct{ field, value string }{
+		{"diameter_mm", "NaN"},
+		{"length_m", "+Inf"},
+		{"dist_traffic_m", "-Inf"},
+		{"x", "1e999"}, // overflows to +Inf with an ErrRange
+	} {
+		in := header + pipeRow(t, map[string]string{tc.field: tc.value})
+		_, err := ReadPipes(strings.NewReader(in))
+		if err == nil || !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s=%s: want parse error naming the field, got %v", tc.field, tc.value, err)
+		}
+	}
+}
+
+func TestReadPipesRejectsDuplicateID(t *testing.T) {
+	in := strings.Join(pipeHeader, ",") + "\n" + pipeRow(t, nil) + pipeRow(t, nil)
+	_, err := ReadPipes(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "duplicate pipe ID") {
+		t.Fatalf("want duplicate-ID error, got %v", err)
+	}
+}
+
+func TestReadPipesRejectsEmptyID(t *testing.T) {
+	in := strings.Join(pipeHeader, ",") + "\n" + pipeRow(t, map[string]string{"id": ""})
+	_, err := ReadPipes(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "empty pipe id") {
+		t.Fatalf("want empty-ID error, got %v", err)
+	}
+}
+
 func TestReadFailuresRejectsBadHeaderAndField(t *testing.T) {
 	if _, err := ReadFailures(strings.NewReader("nope\n")); err == nil {
 		t.Fatal("bad header must error")

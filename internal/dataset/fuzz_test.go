@@ -2,12 +2,17 @@ package dataset
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
 
-// FuzzReadPipes asserts the pipe-table parser never panics and never
-// returns rows from malformed input without an error.
+// FuzzReadPipes asserts the pipe-table parser never panics, never
+// silently accepts malformed input (non-finite floats, duplicate or
+// empty IDs — all found and fixed under this fuzzer), and that whatever
+// it does accept survives an exact write→read round trip. The on-disk
+// seed corpus in testdata/fuzz/FuzzReadPipes holds the regression
+// inputs for past findings.
 func FuzzReadPipes(f *testing.F) {
 	var good bytes.Buffer
 	if err := WritePipes(&good, testNetwork().Pipes()); err != nil {
@@ -16,18 +21,41 @@ func FuzzReadPipes(f *testing.F) {
 	f.Add(good.String())
 	f.Add("id,wrong\n")
 	f.Add("")
-	f.Add("id,class,material,coating,diameter_mm,length_m,laid_year,soil_corrosivity,soil_expansivity,soil_geology,soil_map,dist_traffic_m,x,y,segments\nP,CWM,CICL,NONE,x,1,1,a,b,c,d,1,1,1,1\n")
+	header := strings.Join(pipeHeader, ",") + "\n"
+	// Malformed float.
+	f.Add(header + "P,CWM,CICL,NONE,x,1,1,a,b,c,d,1,1,1,1\n")
+	// Non-finite floats parse but must be rejected.
+	f.Add(header + "P,CWM,CICL,NONE,NaN,1,1,a,b,c,d,1,1,1,1\n")
+	f.Add(header + "P,CWM,CICL,NONE,300,+Inf,1,a,b,c,d,1,1,1,1\n")
+	// Short record.
+	f.Add(header + "P,CWM,CICL\n")
+	// Duplicate and empty IDs.
+	f.Add(header +
+		"P,CWM,CICL,NONE,300,10,1990,a,b,c,d,1,0,0,2\n" +
+		"P,CWM,CICL,NONE,300,10,1990,a,b,c,d,1,0,0,2\n")
+	f.Add(header + ",CWM,CICL,NONE,300,10,1990,a,b,c,d,1,0,0,2\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		pipes, err := ReadPipes(strings.NewReader(input))
-		if err == nil {
-			// Whatever parsed must round-trip.
-			var buf bytes.Buffer
-			if werr := WritePipes(&buf, pipes); werr != nil {
-				t.Fatalf("round trip write failed: %v", werr)
+		if err != nil {
+			return
+		}
+		for i := range pipes {
+			if pipes[i].ID == "" {
+				t.Fatalf("accepted pipe %d with empty ID", i)
 			}
-			if _, rerr := ReadPipes(&buf); rerr != nil {
-				t.Fatalf("round trip read failed: %v", rerr)
-			}
+		}
+		// Whatever parsed must round-trip exactly: the writer's output
+		// re-parses to the identical slice.
+		var buf bytes.Buffer
+		if werr := WritePipes(&buf, pipes); werr != nil {
+			t.Fatalf("round trip write failed: %v", werr)
+		}
+		back, rerr := ReadPipes(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip read failed: %v", rerr)
+		}
+		if !reflect.DeepEqual(pipes, back) {
+			t.Fatalf("round trip not identical:\n first=%+v\nsecond=%+v", pipes, back)
 		}
 	})
 }
@@ -39,18 +67,27 @@ func FuzzReadFailures(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(good.String())
-	f.Add("pipe_id,segment,year,day,mode\nP,0,2000,1,BREAK\n")
-	f.Add("pipe_id,segment,year,day,mode\nP,a,b,c,BREAK\n")
+	header := strings.Join(failureHeader, ",") + "\n"
+	f.Add(header + "P,0,2000,1,BREAK\n")
+	f.Add(header + "P,a,b,c,BREAK\n")
+	// Short record and trailing garbage.
+	f.Add(header + "P,0\n")
+	f.Add(header + "P,0,2000,1,BREAK,extra\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		fails, err := ReadFailures(strings.NewReader(input))
-		if err == nil {
-			var buf bytes.Buffer
-			if werr := WriteFailures(&buf, fails); werr != nil {
-				t.Fatalf("round trip write failed: %v", werr)
-			}
-			if _, rerr := ReadFailures(&buf); rerr != nil {
-				t.Fatalf("round trip read failed: %v", rerr)
-			}
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteFailures(&buf, fails); werr != nil {
+			t.Fatalf("round trip write failed: %v", werr)
+		}
+		back, rerr := ReadFailures(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip read failed: %v", rerr)
+		}
+		if !reflect.DeepEqual(fails, back) {
+			t.Fatalf("round trip not identical:\n first=%+v\nsecond=%+v", fails, back)
 		}
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/feature"
+	"repro/internal/obs"
 	"repro/internal/synthetic"
 )
 
@@ -162,17 +163,22 @@ func EvaluateSplit(net *dataset.Network, split dataset.Split, reg *core.Registry
 	return out, nil
 }
 
-// evalOne trains one fresh model and computes its full ModelEval.
+// evalOne trains one fresh model and computes its full ModelEval. Each
+// evaluation is timed twice for observability: the whole train+score
+// pass into `experiments.eval_seconds.<region>.<model>`, and the fit
+// alone into the shared per-model `core.fit_seconds.<model>` histogram.
 func evalOne(net *dataset.Network, reg *core.Registry, name string, train, test *feature.Set) (ModelEval, error) {
 	m, err := reg.New(name)
 	if err != nil {
 		return ModelEval{}, err
 	}
+	defer obs.Span("experiments.eval_seconds." + net.Region + "." + name)()
 	t0 := time.Now()
 	if err := m.Fit(train); err != nil {
 		return ModelEval{}, fmt.Errorf("experiments: fit %s on region %s: %w", name, net.Region, err)
 	}
 	fitDur := time.Since(t0)
+	obs.Default().Histogram("core.fit_seconds."+name, nil).Observe(fitDur.Seconds())
 	t1 := time.Now()
 	scores, err := m.Scores(test)
 	if err != nil {

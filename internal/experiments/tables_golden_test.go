@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file regression tests for the table renderers: every table is
+// rendered from a fixed-seed 4 %-scale region and compared byte-for-byte
+// against testdata/*.golden, so report formatting (column set, number
+// formats, alignment, row order) cannot drift silently. After an
+// intentional formatting change, regenerate with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and review the golden diffs like any other code change.
+
+var update = flag.Bool("update", false, "rewrite the experiment-table golden files")
+
+// goldenOpts uses only cheap deterministic models so the goldens render
+// in well under a second; determinism across worker counts is pinned by
+// the parallel-engine tests, so the rendered bytes are machine-stable.
+func goldenOpts() Options {
+	return Options{
+		Seed:    11,
+		Scale:   0.04,
+		Regions: []string{"A"},
+		Models:  []string{"Heuristic-Age", "Heuristic-Length", "TimeExp", "Logistic"},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden %s (re-run with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+func TestGoldenDatasetTables(t *testing.T) {
+	opts := goldenOpts()
+	t0, err := T0Cohorts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "t0_cohorts", t0.String())
+
+	t1, err := T1DatasetSummary(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "t1_summary", t1.String())
+}
+
+func TestGoldenEvaluationTables(t *testing.T) {
+	opts := goldenOpts()
+	results, err := RunRegions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "t2_auc", T2AUCTable(results).String())
+	checkGolden(t, "t3_budgets", T3BudgetTable(results).String())
+	checkGolden(t, "f1_detection", F1DetectionSeries(results, nil).String())
+}
+
+func TestGoldenClassBreakdownTable(t *testing.T) {
+	opts := goldenOpts()
+	opts.Models = []string{"Heuristic-Age", "TimeExp"}
+	tb, err := T6ClassBreakdown(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "t6_class_breakdown", tb.String())
+}
+
+// TestGoldenCoverage pins the golden set itself: a new table renderer
+// should either get a golden here or consciously opt out.
+func TestGoldenCoverage(t *testing.T) {
+	if *update {
+		t.Skip("golden set being rewritten")
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldens []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".golden") {
+			goldens = append(goldens, e.Name())
+		}
+	}
+	if len(goldens) < 6 {
+		t.Fatalf("expected at least 6 golden files, found %d: %v", len(goldens), goldens)
+	}
+	for _, g := range goldens {
+		b, err := os.ReadFile(filepath.Join("testdata", g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Errorf("golden %s is empty", g)
+		}
+		// Every golden is a rendered table: title line, header, rule.
+		if !strings.Contains(string(b), "---") {
+			t.Errorf("golden %s does not look like a rendered table", g)
+		}
+	}
+}

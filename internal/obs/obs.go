@@ -1,0 +1,316 @@
+// Package obs is the repository's observability subsystem: named
+// registries of atomic counters, gauges and fixed-bucket histograms,
+// plus a lightweight span helper that times a region of code into a
+// duration histogram.
+//
+// The package is stdlib-only and built for hot paths: metric handles are
+// plain structs updated with single atomic operations, so instrumented
+// code fetches a handle once (package init or constructor) and pays one
+// atomic add per event — cheap enough to sit inside the parallel
+// training loops. Registry lookups (Counter, Gauge, Histogram) take a
+// lock and are meant for setup code, not per-event paths.
+//
+// Snapshot produces a JSON-marshalable, concurrency-safe view of every
+// metric, which the serve package exposes at GET /metrics and the CLI
+// binaries dump behind their -metrics flags.
+//
+// Naming convention: metrics are lower-case dot-separated paths,
+// subsystem first (`serve.requests.train`); when a metric is broken out
+// per label (endpoint, model, region) the label values are the trailing
+// segments. DESIGN.md documents the full catalog.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is a programming error but is not checked on the
+// hot path; Snapshot reports whatever the sum is).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down (queue depths,
+// in-flight requests, last-seen durations). The zero value is ready.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d atomically (CAS loop; gauges are not meant for per-row
+// hot loops, where counters are the right tool).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets defined by sorted
+// upper bounds, with an implicit +Inf overflow bucket, and tracks the
+// running sum and count. All methods are safe for concurrent use; one
+// observation costs two atomic adds plus a CAS for the sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a standalone histogram (registries build theirs
+// via Registry.Histogram). bounds must be strictly increasing and
+// finite; invalid bounds are a programming error and panic.
+func NewHistogram(bounds []float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) || (i > 0 && b <= bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds must be finite and strictly increasing, got %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records v into the bucket with the smallest upper bound >= v
+// (the overflow bucket when v exceeds every bound). NaN observations are
+// dropped so a poisoned input can never make the snapshot unmarshalable.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default bucket layout for latency/duration
+// histograms, in seconds: 100µs to 60s, roughly logarithmic.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry is a named collection of metrics. Lookups get-or-create and
+// always return the same handle for a name, so concurrent registration
+// is safe and cheap paths can cache handles.
+type Registry struct {
+	name string
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry with the given name.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:       name,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry("default")
+
+// Default returns the process-wide registry that the instrumented
+// packages (core, parallel, serve, experiments) record into and that
+// GET /metrics and the -metrics flags snapshot.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (nil bounds select DurationBuckets). When the name
+// already exists the existing histogram wins and bounds are ignored, so
+// every caller shares one instance.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Span starts timing a region of code and returns the closer that
+// records the elapsed seconds into the named duration histogram:
+//
+//	defer obs.Span("core.fit_seconds.DirectAUC-ES")()
+//
+// The histogram lookup happens at span start, so hot callers should
+// still cache the histogram and call Observe directly when the span
+// name is fixed.
+func (r *Registry) Span(name string) func() {
+	h := r.Histogram(name, nil)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// Span times into the default registry; see Registry.Span.
+func Span(name string) func() { return defaultRegistry.Span(name) }
+
+// Bucket is one histogram bucket in a snapshot. LE is the upper bound
+// rendered as a string ("+Inf" for the overflow bucket) so the snapshot
+// always marshals to valid JSON.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of one histogram. Buckets
+// hold per-bucket (non-cumulative) counts.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time view of a whole registry, shaped for JSON.
+type Snapshot struct {
+	Registry   string                       `json:"registry"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric. It is safe to call concurrently with
+// updates; each metric is read atomically (the snapshot as a whole is
+// not a single consistent cut, which monitoring does not need). Cost is
+// one map copy plus one atomic load per bucket — cheap enough to serve
+// on every /metrics request.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Registry:   r.name,
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Buckets: make([]Bucket, len(h.counts)),
+		}
+		if hs.Count > 0 {
+			hs.Mean = hs.Sum / float64(hs.Count)
+		}
+		for i := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			hs.Buckets[i] = Bucket{LE: le, Count: h.counts[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	return nil
+}

@@ -16,6 +16,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool task metrics. Handles are resolved once at package init; each
+// Run/ForEachDynamic call then pays two lock-free atomic adds — noise
+// next to spawning even a single goroutine, so the counters are safe on
+// the training hot paths. Item counts are added per call, not per item.
+var (
+	runCalls     = obs.Default().Counter("parallel.run.calls")
+	runItems     = obs.Default().Counter("parallel.run.items")
+	dynamicCalls = obs.Default().Counter("parallel.dynamic.calls")
+	dynamicItems = obs.Default().Counter("parallel.dynamic.items")
 )
 
 // Pool is a bounded fork-join executor. The zero value runs everything
@@ -53,6 +66,8 @@ func (p Pool) Run(n int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	runCalls.Inc()
+	runItems.Add(int64(n))
 	w := p.Workers()
 	if w > n {
 		w = n
@@ -102,6 +117,8 @@ func (p Pool) ForEachDynamic(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	dynamicCalls.Inc()
+	dynamicItems.Add(int64(n))
 	w := p.Workers()
 	if w > n {
 		w = n

@@ -15,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -23,14 +24,46 @@ import (
 // singleflighted per model name: the first request trains, concurrent
 // requests for the same model block on the in-flight run and share its
 // outcome instead of being refused.
+//
+// Every route is wrapped in metrics middleware (request counter, latency
+// histogram, error counter, in-flight gauge) recording into the default
+// obs registry, which GET /metrics exposes as a JSON snapshot; DESIGN.md
+// documents the catalog.
 type Server struct {
 	net  *pipefail.Network
 	pipe *pipefail.Pipeline
 	log  *log.Logger
 
+	// trainFn runs one training pass; it defaults to (*Server).train and
+	// is a seam for tests that need to inject training failures.
+	trainFn func(name string) (*trainedModel, error)
+
+	metrics serveMetrics
+
 	mu      sync.RWMutex
 	models  map[string]*trainedModel
 	pending map[string]*trainJob
+}
+
+// serveMetrics caches the singleflight/in-flight metric handles so the
+// request path never does a registry lookup.
+type serveMetrics struct {
+	inflight      *obs.Gauge
+	sfHits        *obs.Counter // waiters that joined an in-flight run
+	sfMisses      *obs.Counter // requests that started a training run
+	sfCached      *obs.Counter // requests served from the trained cache
+	trainFailures *obs.Counter
+}
+
+func newServeMetrics() serveMetrics {
+	reg := obs.Default()
+	return serveMetrics{
+		inflight:      reg.Gauge("serve.inflight"),
+		sfHits:        reg.Counter("serve.train.singleflight.hits"),
+		sfMisses:      reg.Counter("serve.train.singleflight.misses"),
+		sfCached:      reg.Counter("serve.train.cached_hits"),
+		trainFailures: reg.Counter("serve.train.failures"),
+	}
 }
 
 type trainedModel struct {
@@ -62,51 +95,104 @@ func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOpt
 	if logger == nil {
 		logger = log.Default()
 	}
-	return &Server{
+	s := &Server{
 		net:     net,
 		pipe:    p,
 		log:     logger,
+		metrics: newServeMetrics(),
 		models:  make(map[string]*trainedModel),
 		pending: make(map[string]*trainJob),
-	}, nil
+	}
+	s.trainFn = s.train
+	return s, nil
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler. Every route, including
+// GET /metrics itself, runs inside the metrics middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/network", s.handleNetwork)
-	mux.HandleFunc("GET /api/models", s.handleModels)
-	mux.HandleFunc("POST /api/models/{name}/train", s.handleTrain)
-	mux.HandleFunc("GET /api/models/{name}/ranking", s.handleRanking)
-	mux.HandleFunc("GET /api/pipes/{id}", s.handlePipe)
-	mux.HandleFunc("GET /api/cohorts", s.handleCohorts)
-	mux.HandleFunc("GET /api/hotspots", s.handleHotspots)
-	mux.HandleFunc("POST /api/plan", s.handlePlan)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /api/network", s.instrument("network", s.handleNetwork))
+	mux.HandleFunc("GET /api/models", s.instrument("models", s.handleModels))
+	mux.HandleFunc("POST /api/models/{name}/train", s.instrument("train", s.handleTrain))
+	mux.HandleFunc("GET /api/models/{name}/ranking", s.instrument("ranking", s.handleRanking))
+	mux.HandleFunc("GET /api/pipes/{id}", s.instrument("pipe", s.handlePipe))
+	mux.HandleFunc("GET /api/cohorts", s.instrument("cohorts", s.handleCohorts))
+	mux.HandleFunc("GET /api/hotspots", s.instrument("hotspots", s.handleHotspots))
+	mux.HandleFunc("POST /api/plan", s.instrument("plan", s.handlePlan))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// instrument wraps a handler with the per-endpoint metrics: request
+// counter, latency histogram, 4xx/5xx error counter and the shared
+// in-flight gauge. Handles are resolved once per route at Handler()
+// time, so the request path pays only atomic updates.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reg := obs.Default()
+	requests := reg.Counter("serve.requests." + route)
+	errors := reg.Counter("serve.errors." + route)
+	latency := reg.Histogram("serve.request_seconds."+route, nil)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inflight.Inc()
+		defer s.metrics.inflight.Dec()
+		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		latency.Observe(time.Since(start).Seconds())
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	}
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON sets Content-Type before WriteHeader — headers changed after
+// the status line is flushed are silently ignored — and reports encoding
+// failures (client hung up mid-body, unencodable value) to the server
+// log instead of dropping them.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("serve: encode response (status %d): %v", status, err)
+	}
 }
 
 type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleMetrics serves a JSON snapshot of the default obs registry:
+// per-endpoint request/latency/error series, the training singleflight
+// counters, per-model fit-duration histograms and the worker-pool task
+// counters (see DESIGN.md for the catalog).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, obs.Default().Snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
 	split := s.pipe.Split()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"region":     s.net.Region,
 		"pipes":      s.net.NumPipes(),
 		"failures":   s.net.NumFailures(),
@@ -139,7 +225,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 		}
 		out = append(out, st)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func knownModel(name string) bool {
@@ -164,18 +250,24 @@ func (s *Server) get(name string) (*trainedModel, error) {
 	s.mu.Lock()
 	if tm, ok := s.models[name]; ok {
 		s.mu.Unlock()
+		s.metrics.sfCached.Inc()
 		return tm, nil
 	}
 	if job, ok := s.pending[name]; ok {
 		s.mu.Unlock()
+		s.metrics.sfHits.Inc()
 		<-job.done
 		return job.tm, job.err
 	}
 	job := &trainJob{done: make(chan struct{})}
 	s.pending[name] = job
 	s.mu.Unlock()
+	s.metrics.sfMisses.Inc()
 
-	job.tm, job.err = s.train(name)
+	job.tm, job.err = s.trainFn(name)
+	if job.err != nil {
+		s.metrics.trainFailures.Inc()
+	}
 
 	s.mu.Lock()
 	delete(s.pending, name)
@@ -223,10 +315,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	tm, err := s.get(name)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, modelStatus{
+	s.writeJSON(w, http.StatusOK, modelStatus{
 		Name: name, Trained: true,
 		AUC:        tm.ranking.AUC(),
 		Det1:       tm.ranking.DetectionAt(0.01),
@@ -245,13 +337,13 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	tm, err := s.get(name)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	top := 50
 	if q := r.URL.Query().Get("top"); q != "" {
 		if _, err := fmt.Sscanf(q, "%d", &top); err != nil || top < 1 {
-			writeErr(w, http.StatusBadRequest, "bad top parameter %q", q)
+			s.writeErr(w, http.StatusBadRequest, "bad top parameter %q", q)
 			return
 		}
 	}
@@ -264,14 +356,14 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, rp)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	p, ok := s.net.PipeByID(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown pipe %q", id)
+		s.writeErr(w, http.StatusNotFound, "unknown pipe %q", id)
 		return
 	}
 	resp := map[string]any{
@@ -297,30 +389,30 @@ func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 	if len(scores) > 0 {
 		resp["scores"] = scores
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
 	by := r.URL.Query().Get("by")
 	switch by {
 	case "", "material":
-		writeJSON(w, http.StatusOK, s.net.CohortByMaterial())
+		s.writeJSON(w, http.StatusOK, s.net.CohortByMaterial())
 	case "age":
 		rows, err := s.net.CohortByAgeBand(10)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
+			s.writeErr(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, rows)
+		s.writeJSON(w, http.StatusOK, rows)
 	case "diameter":
 		rows, err := s.net.CohortByDiameterBand([]float64{100, 200, 300, 450})
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
+			s.writeErr(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, rows)
+		s.writeJSON(w, http.StatusOK, rows)
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown cohort dimension %q (want material, age or diameter)", by)
+		s.writeErr(w, http.StatusBadRequest, "unknown cohort dimension %q (want material, age or diameter)", by)
 	}
 }
 
@@ -328,11 +420,11 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	min := 2
 	if q := r.URL.Query().Get("min"); q != "" {
 		if _, err := fmt.Sscanf(q, "%d", &min); err != nil || min < 1 {
-			writeErr(w, http.StatusBadRequest, "bad min parameter %q", q)
+			s.writeErr(w, http.StatusBadRequest, "bad min parameter %q", q)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, s.net.SegmentHotspots(min))
+	s.writeJSON(w, http.StatusOK, s.net.SegmentHotspots(min))
 }
 
 type planRequest struct {
@@ -355,7 +447,7 @@ type planResponse struct {
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Model == "" {
@@ -369,11 +461,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	tm, err := s.get(req.Model)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if tm.calibrator == nil {
-		writeErr(w, http.StatusConflict, "model %q has no calibrator; cannot price a plan", req.Model)
+		s.writeErr(w, http.StatusConflict, "model %q has no calibrator; cannot price a plan", req.Model)
 		return
 	}
 	cands := make([]plan.Candidate, tm.ranking.Len())
@@ -388,7 +480,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	b := plan.Budget{MaxLengthM: req.BudgetKM * 1000, MaxCount: req.MaxPipes}
 	p, err := plan.Greedy(cands, cm, b)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := planResponse{
@@ -401,5 +493,5 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	for _, c := range p.Selected {
 		resp.Pipes = append(resp.Pipes, c.ID)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -13,7 +14,23 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/obs"
 )
+
+// counterDeltas reads the singleflight counters so tests can assert on
+// deltas — the obs registry is process-global, so absolute values carry
+// history from other tests.
+type sfCounts struct{ hits, misses, cached, failures int64 }
+
+func readSF() sfCounts {
+	reg := obs.Default()
+	return sfCounts{
+		hits:     reg.Counter("serve.train.singleflight.hits").Value(),
+		misses:   reg.Counter("serve.train.singleflight.misses").Value(),
+		cached:   reg.Counter("serve.train.cached_hits").Value(),
+		failures: reg.Counter("serve.train.failures").Value(),
+	}
+}
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
@@ -241,6 +258,147 @@ func TestHotspotsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpoint drives the full train→rank→plan sequence and then
+// asserts GET /metrics exposes the request latency histograms, the train
+// singleflight counters and the per-model fit-duration histograms that
+// the sequence must have produced.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	before := readSF()
+
+	if code := postJSON(t, ts.URL+"/api/models/Logistic/train", nil, nil); code != 200 {
+		t.Fatal("train failed")
+	}
+	if code := getJSON(t, ts.URL+"/api/models/Logistic/ranking?top=5", nil); code != 200 {
+		t.Fatal("ranking failed")
+	}
+	if code := postJSON(t, ts.URL+"/api/plan", map[string]any{"model": "Logistic", "budget_km": 3}, nil); code != 200 {
+		t.Fatal("plan failed")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("metrics Content-Type %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics is not a JSON snapshot: %v", err)
+	}
+
+	// Request latency histograms per endpoint.
+	for _, route := range []string{"train", "ranking", "plan"} {
+		h, ok := snap.Histograms["serve.request_seconds."+route]
+		if !ok || h.Count < 1 {
+			t.Errorf("missing/empty latency histogram for %s: %+v", route, h)
+		}
+		if snap.Counters["serve.requests."+route] < 1 {
+			t.Errorf("request counter for %s did not move", route)
+		}
+	}
+	// Singleflight counters: the train + the plan's model reuse.
+	if snap.Counters["serve.train.singleflight.misses"] < before.misses+1 {
+		t.Error("singleflight miss not counted for the first train")
+	}
+	if snap.Counters["serve.train.cached_hits"] < before.cached+2 {
+		t.Error("ranking+plan should have hit the trained-model cache")
+	}
+	// Per-model fit duration recorded by the pipeline.
+	if h, ok := snap.Histograms["core.fit_seconds.Logistic"]; !ok || h.Count < 1 {
+		t.Errorf("per-model fit duration missing: %+v", snap.Histograms["core.fit_seconds.Logistic"])
+	}
+	// In-flight gauge exists and is back to a sane value.
+	if g, ok := snap.Gauges["serve.inflight"]; !ok || g < 1 {
+		t.Errorf("in-flight gauge %v (the /metrics request itself is in flight)", g)
+	}
+}
+
+// TestTrainFailureNotCached injects a one-shot training failure through
+// the trainFn seam and asserts the failure is returned, counted, and
+// NOT cached: the next request retrains and succeeds.
+func TestTrainFailureNotCached(t *testing.T) {
+	s, ts := newTestServer(t)
+	before := readSF()
+
+	realTrain := s.trainFn
+	failures := 0
+	s.trainFn = func(name string) (*trainedModel, error) {
+		failures++
+		return nil, errors.New("injected training failure")
+	}
+
+	var e map[string]any
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, &e); code != 400 {
+		t.Fatalf("failed train status %d, want 400", code)
+	}
+	if !strings.Contains(e["error"].(string), "injected") {
+		t.Fatalf("error body %v", e)
+	}
+	if got := readSF(); got.failures != before.failures+1 {
+		t.Fatalf("train failure counter = %d, want %d", got.failures, before.failures+1)
+	}
+
+	// The failed run must not be cached: restore training and retry.
+	s.trainFn = realTrain
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, nil); code != 200 {
+		t.Fatal("retry after failure did not retrain")
+	}
+	if failures != 1 {
+		t.Fatalf("injected trainer ran %d times, want 1", failures)
+	}
+	if got := readSF(); got.misses != before.misses+2 {
+		t.Fatalf("miss counter = %d, want %d (failed run + retry both start fresh)", got.misses, before.misses+2)
+	}
+}
+
+func TestRankingUnknownModel(t *testing.T) {
+	_, ts := newTestServer(t)
+	var e map[string]any
+	if code := getJSON(t, ts.URL+"/api/models/NoSuchModel/ranking", &e); code != 400 {
+		t.Fatalf("unknown model ranking status %d, want 400", code)
+	}
+	if !strings.Contains(e["error"].(string), "unknown model") {
+		t.Fatalf("error body %v", e)
+	}
+}
+
+func TestPlanBadBudget(t *testing.T) {
+	_, ts := newTestServer(t)
+	var e map[string]any
+	if code := postJSON(t, ts.URL+"/api/plan", map[string]any{"model": "Logistic", "budget_km": -4}, &e); code != 400 {
+		t.Fatalf("negative budget status %d, want 400", code)
+	}
+	if e["error"] == "" {
+		t.Fatal("no error body for bad budget")
+	}
+}
+
+// TestErrorResponsesHaveJSONContentType pins the writeErr fix: the
+// Content-Type header must be set before the status is written.
+func TestErrorResponsesHaveJSONContentType(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/models/NoSuchModel/ranking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type %q, want application/json", ct)
+	}
+	if c := obs.Default().Counter("serve.errors.ranking").Value(); c < 1 {
+		t.Error("error counter for ranking did not move")
+	}
+}
+
 func TestConcurrentTrainingRequests(t *testing.T) {
 	// A dedicated server whose log feeds a buffer, so the test can count
 	// training runs. log.Logger serializes writes; the buffer is only read
@@ -257,6 +415,7 @@ func TestConcurrentTrainingRequests(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	before := readSF()
 	const requests = 8
 	var wg sync.WaitGroup
 	errs := make(chan string, requests)
@@ -288,8 +447,24 @@ func TestConcurrentTrainingRequests(t *testing.T) {
 	if got := strings.Count(logBuf.String(), "serve: trained Heuristic-Length"); got != 1 {
 		t.Fatalf("training ran %d times, want exactly 1; log:\n%s", got, logBuf.String())
 	}
+	// The singleflight counters agree: one miss started the run, and the
+	// other seven either joined it in flight or (if they arrived after it
+	// published) hit the trained cache.
+	after := readSF()
+	if after.misses != before.misses+1 {
+		t.Fatalf("singleflight misses = %d, want %d", after.misses, before.misses+1)
+	}
+	if joined := (after.hits - before.hits) + (after.cached - before.cached); joined != requests-1 {
+		t.Fatalf("hits+cached = %d, want %d", joined, requests-1)
+	}
+	if after.failures != before.failures {
+		t.Fatalf("unexpected train failures: %d", after.failures-before.failures)
+	}
 	// Still trained and stable afterwards.
 	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Length/train", nil, nil); code != 200 {
 		t.Fatalf("final train status %d", code)
+	}
+	if got := readSF(); got.cached != after.cached+1 {
+		t.Fatalf("final train should be a cache hit (cached %d → %d)", after.cached, got.cached)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/feature"
+	"repro/internal/obs"
 	"repro/internal/synthetic"
 	"repro/internal/tune"
 )
@@ -170,15 +171,18 @@ func (p *Pipeline) Split() Split { return p.split }
 func (p *Pipeline) FeatureNames() []string { return p.builder.Names() }
 
 // Train fits a fresh instance of the named model on the training window
-// and returns it.
+// and returns it. Fit wall-clock is recorded into the per-model
+// `core.fit_seconds.<model>` histogram (see DESIGN.md, Observability).
 func (p *Pipeline) Train(modelName string) (Model, error) {
 	m, err := p.reg.New(modelName)
 	if err != nil {
 		return nil, err
 	}
+	done := obs.Span("core.fit_seconds." + modelName)
 	if err := m.Fit(p.train); err != nil {
 		return nil, fmt.Errorf("pipefail: %w", err)
 	}
+	done()
 	return m, nil
 }
 
