@@ -213,6 +213,44 @@ func TestServeEndToEnd(t *testing.T) {
 	if status != http.StatusOK || !bytes.Contains(body, []byte("pipe_id")) {
 		t.Fatalf("ranking: status %d body %s", status, body)
 	}
+
+	// A top far beyond the pipe count must clamp to the full ranking —
+	// not error, not over-return, not duplicate (pins eval.TopK's clamp
+	// end to end through the serve layer).
+	status, body = serveRequest(t, "GET", base+"/api/network", "")
+	if status != http.StatusOK {
+		t.Fatalf("network: status %d body %s", status, body)
+	}
+	var netInfo struct {
+		Pipes int `json:"pipes"`
+	}
+	if err := json.Unmarshal(body, &netInfo); err != nil || netInfo.Pipes < 1 {
+		t.Fatalf("network: bad body %s (err %v)", body, err)
+	}
+	status, body = serveRequest(t, "GET", base+"/api/models/Logistic/ranking?top=1000000", "")
+	if status != http.StatusOK {
+		t.Fatalf("oversized top: status %d body %s", status, body)
+	}
+	var ranked []struct {
+		Rank   int    `json:"rank"`
+		PipeID string `json:"pipe_id"`
+	}
+	if err := json.Unmarshal(body, &ranked); err != nil {
+		t.Fatalf("oversized top: invalid JSON: %v\n%s", err, body)
+	}
+	if len(ranked) == 0 || len(ranked) > netInfo.Pipes {
+		t.Fatalf("oversized top returned %d rows for a %d-pipe network", len(ranked), netInfo.Pipes)
+	}
+	seen := make(map[string]bool, len(ranked))
+	for i, rp := range ranked {
+		if rp.Rank != i+1 {
+			t.Fatalf("rank %d at position %d", rp.Rank, i)
+		}
+		if seen[rp.PipeID] {
+			t.Fatalf("duplicate pipe %s in clamped ranking", rp.PipeID)
+		}
+		seen[rp.PipeID] = true
+	}
 	status, body = serveRequest(t, "POST", base+"/api/plan",
 		`{"model":"Logistic","budget_km":3}`)
 	if status != http.StatusOK || !bytes.Contains(body, []byte("total_km")) {

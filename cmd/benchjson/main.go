@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark results can be checked in
+// and diffed across commits (see `make bench-json` and BENCH_core.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./... | benchjson > BENCH_core.json
+//
+// Only benchmark result lines are parsed; all other output (pass/fail
+// summaries, pkg headers) is ignored. Lines that report B/op and
+// allocs/op (benchmarks using b.ReportAllocs) carry those fields; others
+// omit them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// so results are comparable across machines.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the reported B/op; nil when the benchmark does not
+	// report allocations.
+	BytesPerOp *int64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is the reported allocs/op; nil when not reported.
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFitnessEval-8   1933   610513 ns/op   42 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// parse extracts benchmark results from go test -bench output.
+func parse(lines []string) ([]Result, error) {
+	var out []Result
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the -GOMAXPROCS suffix go test appends when parallelism > 1.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+		}
+		r := Result{Name: name, Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", line, err)
+			}
+			a, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", line, err)
+			}
+			r.BytesPerOp = &b
+			r.AllocsPerOp = &a
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func main() {
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	results, err := parse(lines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	lines := []string{
+		"goos: linux",
+		"pkg: repro/internal/core",
+		"BenchmarkFitnessEval-8  \t    1933\t    610513 ns/op\t      42 B/op\t       0 allocs/op",
+		"BenchmarkMatVec \t    2871\t    410645.5 ns/op",
+		"PASS",
+		"ok  \trepro/internal/core\t3.1s",
+	}
+	got, err := parse(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	fe := got[0]
+	if fe.Name != "BenchmarkFitnessEval" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", fe.Name)
+	}
+	if fe.Iterations != 1933 || fe.NsPerOp != 610513 {
+		t.Fatalf("bad numbers: %+v", fe)
+	}
+	if fe.BytesPerOp == nil || *fe.BytesPerOp != 42 || fe.AllocsPerOp == nil || *fe.AllocsPerOp != 0 {
+		t.Fatalf("bad alloc fields: %+v", fe)
+	}
+	mv := got[1]
+	if mv.Name != "BenchmarkMatVec" || mv.NsPerOp != 410645.5 {
+		t.Fatalf("bad no-alloc line: %+v", mv)
+	}
+	if mv.BytesPerOp != nil || mv.AllocsPerOp != nil {
+		t.Fatalf("alloc fields must be absent when not reported: %+v", mv)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	got, err := parse([]string{"no benchmarks here"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("unexpected results: %+v", got)
+	}
+}

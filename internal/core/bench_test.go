@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/parallel"
+)
+
+// BenchmarkFitnessEval measures one ES fitness evaluation — the unit the
+// training loop performs µ+λ times per generation (3,840 times per Fit at
+// the defaults). Shape mirrors a realistic pipe-year set: 20k rows, 5%
+// positives, 4x negative sub-sampling, 32 features.
+func BenchmarkFitnessEval(b *testing.B) {
+	set := gaussianSet(1, 20000, 0.05, 1.5, 32)
+	pos, neg := splitByLabel(set)
+	batchNeg := 4 * len(pos)
+	if batchNeg > len(neg) {
+		batchNeg = len(neg)
+	}
+	batch := newFitnessBatch(set, pos, neg, batchNeg)
+	w := make([]float64, set.Dim())
+	for j := range w {
+		w[j] = float64(j%5) - 2
+	}
+	scores := make([]float64, len(batch.rows))
+	var k eval.AUCKernel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a := batch.aucInto(w, scores, &k); a < 0 || a > 1 {
+			b.Fatalf("AUC %v", a)
+		}
+	}
+}
+
+// BenchmarkScoreAllFlat measures the full-set scoring pass (exact-final
+// re-ranking and serve-side scoring) over a dense flat-backed set.
+func BenchmarkScoreAllFlat(b *testing.B) {
+	set := gaussianSet(2, 20000, 0.05, 1.5, 32)
+	w := make([]float64, set.Dim())
+	for j := range w {
+		w[j] = float64(j%5) - 2
+	}
+	pool := parallel.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores := scoreAllPar(set, w, pool)
+		if len(scores) != set.Len() {
+			b.Fatal("bad scores")
+		}
+	}
+}

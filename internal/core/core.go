@@ -24,8 +24,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/eval"
 	"repro/internal/feature"
 )
 
@@ -109,37 +109,9 @@ func splitByLabel(s *feature.Set) (pos, neg []int) {
 }
 
 // exactAUC computes the empirical AUC of scores against labels using the
-// rank-statistic formulation (ties counted half), in O(n log n).
+// rank-statistic formulation (ties counted half), in O(n log n). It is the
+// shared eval kernel; hot loops that call it repeatedly hold their own
+// eval.AUCKernel instead to reuse sort scratch across calls.
 func exactAUC(scores []float64, labels []bool) float64 {
-	n := len(scores)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
-	var nPos, nNeg float64
-	var rankSum float64
-	i := 0
-	rank := 1.0
-	for i < n {
-		j := i
-		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
-			j++
-		}
-		avg := (rank + rank + float64(j-i)) / 2
-		for k := i; k <= j; k++ {
-			if labels[idx[k]] {
-				rankSum += avg
-				nPos++
-			} else {
-				nNeg++
-			}
-		}
-		rank += float64(j - i + 1)
-		i = j + 1
-	}
-	if nPos == 0 || nNeg == 0 {
-		return 0.5
-	}
-	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+	return eval.AUC(scores, labels)
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/feature"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -13,16 +14,19 @@ func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 // gaussianSet builds a two-class Gaussian set: positives centred at +mu
 // along a signal direction in the first two dims, negatives at the origin,
-// with noise dims appended. sep controls difficulty.
+// with noise dims appended. sep controls difficulty. The set is dense
+// (flat-backed), like everything the feature builder produces, so tests
+// exercise the same memory-layout paths as production sets.
 func gaussianSet(seed int64, n int, posFrac, sep float64, dim int) *feature.Set {
 	rng := stats.NewRNG(seed)
-	s := &feature.Set{}
-	for j := 0; j < dim; j++ {
-		s.Names = append(s.Names, "f")
+	names := make([]string, dim)
+	for j := range names {
+		names[j] = "f"
 	}
+	s := feature.NewDense(names, n, dim)
 	for i := 0; i < n; i++ {
 		pos := rng.Bernoulli(posFrac)
-		row := make([]float64, dim)
+		row := s.X[i]
 		for j := range row {
 			row[j] = rng.Norm()
 		}
@@ -32,14 +36,31 @@ func gaussianSet(seed int64, n int, posFrac, sep float64, dim int) *feature.Set 
 				row[1] += sep / 2
 			}
 		}
-		s.X = append(s.X, row)
-		s.Label = append(s.Label, pos)
-		s.Age = append(s.Age, 10)
-		s.LengthM = append(s.LengthM, 100)
-		s.PipeIdx = append(s.PipeIdx, i)
-		s.Year = append(s.Year, 2000)
+		s.Label[i] = pos
+		s.Age[i] = 10
+		s.LengthM[i] = 100
+		s.PipeIdx[i] = i
+		s.Year[i] = 2000
 	}
 	return s
+}
+
+// viewCopy rebuilds a set as plain row views with no flat backing, to
+// exercise the fallback paths of flat-aware kernels.
+func viewCopy(s *feature.Set) *feature.Set {
+	v := &feature.Set{
+		Names:   s.Names,
+		Label:   s.Label,
+		Age:     s.Age,
+		LengthM: s.LengthM,
+		PipeIdx: s.PipeIdx,
+		Year:    s.Year,
+	}
+	v.X = make([][]float64, len(s.X))
+	for i, row := range s.X {
+		v.X[i] = append([]float64(nil), row...)
+	}
+	return v
 }
 
 func TestExactAUCKnownValues(t *testing.T) {
@@ -204,6 +225,42 @@ func TestDirectAUCDeterminism(t *testing.T) {
 		if m1.W[i] != m2.W[i] {
 			t.Fatal("same seed must give identical weights")
 		}
+	}
+}
+
+// TestFlatAndViewSetsScoreIdentically pins the memory-layout contract:
+// the flat MatVec fast path and the row-view fallback must produce
+// bit-identical scores and, through them, bit-identical fitted models.
+func TestFlatAndViewSetsScoreIdentically(t *testing.T) {
+	dense := gaussianSet(21, 400, 0.2, 2, 5)
+	view := viewCopy(dense)
+	if flat, _ := view.Flat(); flat != nil {
+		t.Fatal("viewCopy must not have a flat backing")
+	}
+	w := []float64{0.5, -1.25, 2, 0.125, -3}
+	pool := parallel.New(2)
+	sd := scoreAllPar(dense, w, pool)
+	sv := scoreAllPar(view, w, pool)
+	for i := range sd {
+		if sd[i] != sv[i] {
+			t.Fatalf("row %d: flat path %v != view path %v", i, sd[i], sv[i])
+		}
+	}
+	md := NewDirectAUC(DirectAUCConfig{Seed: 9, Generations: 15})
+	mv := NewDirectAUC(DirectAUCConfig{Seed: 9, Generations: 15})
+	if err := md.Fit(dense); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.Fit(view); err != nil {
+		t.Fatal(err)
+	}
+	for i := range md.W {
+		if md.W[i] != mv.W[i] {
+			t.Fatal("flat and view training must give identical weights")
+		}
+	}
+	if md.TrainAUC != mv.TrainAUC {
+		t.Fatalf("train AUC %v != %v", md.TrainAUC, mv.TrainAUC)
 	}
 }
 

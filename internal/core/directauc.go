@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/eval"
 	"repro/internal/feature"
 	"repro/internal/linalg"
 	"repro/internal/obs"
@@ -165,9 +166,13 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 	// evaluates every parent on its first batch).
 	pool := parallel.New(d.cfg.Workers)
 	batch := newFitnessBatch(train, pos, neg, batchNeg)
-	scratch := make([][]float64, pool.Workers())
+	type fitScratch struct {
+		scores []float64
+		auc    eval.AUCKernel
+	}
+	scratch := make([]fitScratch, pool.Workers())
 	for i := range scratch {
-		scratch[i] = make([]float64, len(batch.rows))
+		scratch[i].scores = make([]float64, len(batch.rows))
 	}
 
 	offspring := make([]esIndividual, 0, d.cfg.Lambda)
@@ -183,7 +188,7 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 		// Re-evaluate parents on the new batch.
 		pool.Run(len(parents), func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				parents[i].fit = batch.aucInto(parents[i].w, scratch[w])
+				parents[i].fit = batch.aucInto(parents[i].w, scratch[w].scores, &scratch[w].auc)
 			}
 		})
 
@@ -207,7 +212,7 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 		// Only scoring fans out; each offspring owns its fitness slot.
 		pool.Run(len(offspring), func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				offspring[i].fit = batch.aucInto(offspring[i].w, scratch[w])
+				offspring[i].fit = batch.aucInto(offspring[i].w, scratch[w].scores, &scratch[w].auc)
 			}
 		})
 
@@ -261,10 +266,18 @@ func scoreAll(s *feature.Set, w []float64) []float64 {
 
 // scoreAllPar is scoreAll with the row loop fanned out across the pool;
 // each row writes only its own output slot, so the result is identical
-// for any worker count.
+// for any worker count. Sets with a flat backing (everything the feature
+// builder produces) take the contiguous MatVec path; hand-assembled view
+// sets fall back to per-row dots with identical results, since MatVec is
+// defined as Dot per row.
 func scoreAllPar(s *feature.Set, w []float64, pool parallel.Pool) []float64 {
 	out := make([]float64, s.Len())
+	flat, stride := s.Flat()
 	pool.Run(s.Len(), func(_, lo, hi int) {
+		if flat != nil {
+			linalg.MatVec(out[lo:hi], flat[lo*stride:hi*stride], stride, w)
+			return
+		}
 		for i := lo; i < hi; i++ {
 			out[i] = linalg.Dot(s.X[i], w)
 		}
@@ -297,18 +310,25 @@ func sortByFitnessDesc(all []esIndividual) {
 }
 
 // fitnessBatch evaluates sampled-pair AUC: all positives against a
-// refreshed subsample of negatives.
+// refreshed subsample of negatives. The batch rows are gathered into a
+// dense contiguous sub-matrix (sub) once per resample, so each of the
+// µ+λ fitness evaluations per generation is a single sequential MatVec
+// over the gathered block instead of a pointer-chased pass over row
+// views.
 type fitnessBatch struct {
 	set      *feature.Set
 	pos, neg []int
 	batchNeg int
 	rows     []int
 	labels   []bool
-	scores   []float64 // scratch
+	sub      []float64 // dense row-major gather of rows, len(rows) x stride
+	stride   int
+	scores   []float64      // scratch for the serial auc() convenience
+	kernel   eval.AUCKernel // ditto
 }
 
 func newFitnessBatch(s *feature.Set, pos, neg []int, batchNeg int) *fitnessBatch {
-	b := &fitnessBatch{set: s, pos: pos, neg: neg, batchNeg: batchNeg}
+	b := &fitnessBatch{set: s, pos: pos, neg: neg, batchNeg: batchNeg, stride: s.Dim()}
 	b.rows = make([]int, 0, len(pos)+batchNeg)
 	b.labels = make([]bool, 0, len(pos)+batchNeg)
 	b.rows = append(b.rows, pos...)
@@ -320,8 +340,19 @@ func newFitnessBatch(s *feature.Set, pos, neg []int, batchNeg int) *fitnessBatch
 		b.rows = append(b.rows, neg[i])
 		b.labels = append(b.labels, false)
 	}
+	b.sub = make([]float64, len(b.rows)*b.stride)
+	b.gather(0, len(b.rows))
 	b.scores = make([]float64, len(b.rows))
 	return b
+}
+
+// gather copies rows [lo, hi) of the batch into the dense sub-matrix.
+// Positives occupy the leading block and never change, so resample only
+// re-gathers the negative tail.
+func (b *fitnessBatch) gather(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		copy(b.sub[i*b.stride:(i+1)*b.stride], b.set.X[b.rows[i]])
+	}
 }
 
 func (b *fitnessBatch) resample(rng *stats.RNG) {
@@ -329,17 +360,16 @@ func (b *fitnessBatch) resample(rng *stats.RNG) {
 	for i, s := range sample {
 		b.rows[len(b.pos)+i] = b.neg[s]
 	}
+	b.gather(len(b.pos), len(b.rows))
 }
 
 func (b *fitnessBatch) auc(w []float64) float64 {
-	return b.aucInto(w, b.scores)
+	return b.aucInto(w, b.scores, &b.kernel)
 }
 
-// aucInto is auc with a caller-owned score buffer (len(b.rows)), so
-// concurrent evaluations do not contend on the batch's internal scratch.
-func (b *fitnessBatch) aucInto(w, scores []float64) float64 {
-	for i, r := range b.rows {
-		scores[i] = linalg.Dot(b.set.X[r], w)
-	}
-	return exactAUC(scores, b.labels)
+// aucInto is auc with caller-owned score and sort scratch (one pair per
+// worker), so concurrent evaluations never share state.
+func (b *fitnessBatch) aucInto(w, scores []float64, k *eval.AUCKernel) float64 {
+	linalg.MatVec(scores, b.sub, b.stride, w)
+	return k.Compute(scores, b.labels)
 }

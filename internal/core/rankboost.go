@@ -79,12 +79,21 @@ func (m *RankBoost) Fit(train *feature.Set) error {
 	dim := train.Dim()
 
 	// Candidate thresholds per feature from quantiles of the training
-	// values (computed once).
+	// values, computed once per Fit and cached for all rounds. The gather
+	// buffer doubles as quantileCuts' sort scratch, so the extraction
+	// allocates only the cut slices themselves.
 	cuts := make([][]float64, dim)
 	vals := make([]float64, train.Len())
+	flat, stride := train.Flat()
 	for j := 0; j < dim; j++ {
-		for i, row := range train.X {
-			vals[i] = row[j]
+		if flat != nil {
+			for i := range vals {
+				vals[i] = flat[i*stride+j]
+			}
+		} else {
+			for i, row := range train.X {
+				vals[i] = row[j]
+			}
 		}
 		cuts[j] = quantileCuts(vals, m.cfg.Thresholds)
 	}
@@ -205,14 +214,15 @@ func normalize(v []float64) {
 	}
 }
 
-// quantileCuts returns up to k distinct interior quantile cut points of xs.
+// quantileCuts returns up to k distinct interior quantile cut points of
+// xs. It sorts xs in place — callers own the buffer and refill it per
+// feature, so no defensive copy is made.
 func quantileCuts(xs []float64, k int) []float64 {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	sort.Float64s(xs)
 	var cuts []float64
 	for i := 1; i <= k; i++ {
 		q := float64(i) / float64(k+1)
-		v := s[int(q*float64(len(s)-1))]
+		v := xs[int(q*float64(len(xs)-1))]
 		if len(cuts) == 0 || v != cuts[len(cuts)-1] {
 			cuts = append(cuts, v)
 		}

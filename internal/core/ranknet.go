@@ -77,8 +77,9 @@ func NewRankNet(cfg RankNetConfig) *RankNet {
 // Name implements Model.
 func (m *RankNet) Name() string { return "RankNet" }
 
-// forward computes the score of x and, when grad is true, returns the
-// hidden activations needed for backprop.
+// forward computes the score of x and returns the hidden activations
+// needed for backprop. Training only; scoring uses the allocation-free
+// score below.
 func (m *RankNet) forward(x []float64) (score float64, hidden []float64) {
 	h := len(m.w2)
 	hidden = make([]float64, h)
@@ -87,6 +88,17 @@ func (m *RankNet) forward(x []float64) (score float64, hidden []float64) {
 		score += m.w2[k] * hidden[k]
 	}
 	return score, hidden
+}
+
+// score is forward without materializing the hidden layer — the same
+// floating-point operations in the same order, so it is bit-identical to
+// forward's score, with zero allocations per row.
+func (m *RankNet) score(x []float64) float64 {
+	var s float64
+	for k := range m.w2 {
+		s += m.w2[k] * math.Tanh(linalg.Dot(m.w1[k], x)+m.b1[k])
+	}
+	return s
 }
 
 // Fit implements Model.
@@ -155,8 +167,7 @@ func (m *RankNet) Scores(test *feature.Set) ([]float64, error) {
 	out := make([]float64, test.Len())
 	parallel.New(m.cfg.Workers).Run(test.Len(), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			s, _ := m.forward(test.X[i])
-			out[i] = s
+			out[i] = m.score(test.X[i])
 		}
 	})
 	return out, nil

@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// pairwiseAUC is the O(|P|·|N|) definition the kernel must reproduce:
+// count positive-over-negative wins, half credit for ties.
+func pairwiseAUC(scores []float64, labels []bool) float64 {
+	var wins, pairs float64
+	for i, si := range scores {
+		if !labels[i] {
+			continue
+		}
+		for j, sj := range scores {
+			if labels[j] {
+				continue
+			}
+			pairs++
+			switch {
+			case si > sj:
+				wins++
+			case si == sj:
+				wins += 0.5
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0.5
+	}
+	return wins / pairs
+}
+
+// TestAUCKernelAgainstPairwiseReference checks the rank-statistic kernel
+// against the naive pairwise definition on random inputs with heavy
+// score ties (quantized scores force large tie groups).
+func TestAUCKernelAgainstPairwiseReference(t *testing.T) {
+	rng := stats.NewRNG(7)
+	var k AUCKernel
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(120)
+		// Quantize scores to few levels so ties dominate; occasionally use
+		// continuous scores too.
+		levels := 1 + rng.Intn(6)
+		continuous := trial%10 == 0
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			if continuous {
+				scores[i] = rng.Float64()
+			} else {
+				scores[i] = float64(rng.Intn(levels))
+			}
+			labels[i] = rng.Bernoulli(0.3)
+		}
+		want := pairwiseAUC(scores, labels)
+		got := k.Compute(scores, labels)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d (n=%d, levels=%d): kernel %v != pairwise %v",
+				trial, n, levels, got, want)
+		}
+		// The one-shot wrapper must agree exactly.
+		if w := AUC(scores, labels); w != got {
+			t.Fatalf("trial %d: AUC wrapper %v != kernel %v", trial, w, got)
+		}
+	}
+}
+
+func TestAUCKernelDegenerate(t *testing.T) {
+	var k AUCKernel
+	if got := k.Compute(nil, nil); got != 0.5 {
+		t.Fatalf("empty input: %v", got)
+	}
+	if got := k.Compute([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Fatalf("single class: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	k.Compute([]float64{1}, []bool{true, false})
+}
+
+// TestAUCKernelZeroAlloc is the allocation-regression gate for the ES
+// fitness path: after the warm-up call, Compute must not allocate.
+func TestAUCKernelZeroAlloc(t *testing.T) {
+	rng := stats.NewRNG(3)
+	n := 4096
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(50)) // heavy ties exercise the group walk
+		labels[i] = rng.Bernoulli(0.1)
+	}
+	var k AUCKernel
+	allocs := testing.AllocsPerRun(20, func() {
+		if a := k.Compute(scores, labels); a < 0 || a > 1 {
+			t.Fatalf("AUC out of range: %v", a)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AUCKernel.Compute allocates %v per run in steady state, want 0", allocs)
+	}
+}
+
+// referenceRankOrder is the pre-kernel implementation: stable sort by
+// score descending (stability supplies the index tiebreak).
+func referenceRankOrder(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+func TestRankerMatchesStableSort(t *testing.T) {
+	rng := stats.NewRNG(11)
+	var r Ranker
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8)) // ties stress the index tiebreak
+		}
+		want := referenceRankOrder(scores)
+		got := r.Order(scores)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order[%d] = %d != stable-sort %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := stats.NewRNG(13)
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(300)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10))
+		}
+		full := referenceRankOrder(scores)
+		for _, k := range []int{-1, 0, 1, 2, n / 2, n - 1, n, n + 5} {
+			want := full
+			kk := k
+			if kk < 0 {
+				kk = 0
+			}
+			if kk > n {
+				kk = n
+			}
+			want = full[:kk]
+			got := TopK(scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: length %d != %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: topk[%d] = %d != sorted %d", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAUCKernel(b *testing.B) {
+	rng := stats.NewRNG(1)
+	n := 100000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Bernoulli(0.03)
+	}
+	var k AUCKernel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a := k.Compute(scores, labels); a < 0.4 || a > 0.6 {
+			b.Fatalf("AUC %v", a)
+		}
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := stats.NewRNG(3)
+	n := 20000
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Norm()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ids := TopK(scores, 50); len(ids) != 50 {
+			b.Fatal("bad topk")
+		}
+	}
+}

@@ -10,49 +10,16 @@ package eval
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // AUC returns the empirical area under the ROC curve of scores against
 // labels, computed with the rank-statistic formulation (ties counted half)
-// in O(n log n). Degenerate single-class inputs return 0.5.
+// in O(n log n). Degenerate single-class inputs return 0.5. This is the
+// one-shot convenience wrapper; callers on hot loops hold an AUCKernel
+// (see kernel.go) to amortize the sort scratch.
 func AUC(scores []float64, labels []bool) float64 {
-	if len(scores) != len(labels) {
-		panic(fmt.Sprintf("eval: AUC length mismatch %d vs %d", len(scores), len(labels)))
-	}
-	n := len(scores)
-	if n == 0 {
-		return 0.5
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
-	var nPos, nNeg, rankSum float64
-	i := 0
-	rank := 1.0
-	for i < n {
-		j := i
-		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
-			j++
-		}
-		avg := (rank + rank + float64(j-i)) / 2
-		for k := i; k <= j; k++ {
-			if labels[idx[k]] {
-				rankSum += avg
-				nPos++
-			} else {
-				nNeg++
-			}
-		}
-		rank += float64(j - i + 1)
-		i = j + 1
-	}
-	if nPos == 0 || nNeg == 0 {
-		return 0.5
-	}
-	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+	var k AUCKernel
+	return k.Compute(scores, labels)
 }
 
 // CurvePoint is one point of a detection or ROC curve.
@@ -65,14 +32,10 @@ type CurvePoint struct {
 }
 
 // rankOrder returns indices sorted by score descending, breaking ties by
-// original index for determinism.
+// original index for determinism (a one-shot Ranker; see kernel.go).
 func rankOrder(scores []float64) []int {
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
-	return idx
+	var r Ranker
+	return r.Order(scores)
 }
 
 // DetectionCurve returns the cumulative detection curve: after inspecting
@@ -280,14 +243,3 @@ func ROCCurve(scores []float64, labels []bool, points int) []CurvePoint {
 	return out
 }
 
-// TopK returns the indices of the k highest-scoring items in rank order.
-// k is clamped to len(scores).
-func TopK(scores []float64, k int) []int {
-	if k < 0 {
-		k = 0
-	}
-	if k > len(scores) {
-		k = len(scores)
-	}
-	return rankOrder(scores)[:k]
-}

@@ -90,6 +90,35 @@ func TestGoldenClassBreakdownTable(t *testing.T) {
 	checkGolden(t, "t6_class_breakdown", tb.String())
 }
 
+// TestGoldenRenewalTable pins the F5 counterfactual-renewal table: the
+// policy rows, the ground-truth failure counts under the shared future
+// seed, and the prevented-percentage formatting.
+func TestGoldenRenewalTable(t *testing.T) {
+	// At 4 % scale the paper's 2 % replacement budget rounds to a dozen
+	// pipes and prevents nothing; 20 % keeps the policy rows
+	// distinguishable so the golden pins real counterfactual numbers,
+	// not just formatting.
+	tb, err := F5RenewalImpact(goldenOpts(), "A", 0.20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "f5_renewal", tb.String())
+}
+
+// TestGoldenSensitivityTable pins the T8 hyperparameter-sensitivity table.
+// The ES generation count is cut to keep the six DirectAUC configurations
+// cheap; the point of the golden is the row set, CV plumbing and number
+// formatting, all of which are generation-count independent.
+func TestGoldenSensitivityTable(t *testing.T) {
+	opts := goldenOpts()
+	opts.ESGenerations = 4
+	tb, err := T8Sensitivity(opts, "A", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "t8_sensitivity", tb.String())
+}
+
 // TestGoldenCoverage pins the golden set itself: a new table renderer
 // should either get a golden here or consciously opt out.
 func TestGoldenCoverage(t *testing.T) {

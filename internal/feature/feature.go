@@ -83,10 +83,19 @@ type Options struct {
 
 // Set is a design matrix plus the metadata models need alongside it.
 // Rows align across all fields.
+//
+// Sets built by a Builder are dense: X's rows are views into one
+// contiguous row-major backing array exposed by Flat, so scoring kernels
+// can stream the whole matrix without per-row pointer chasing. Sets
+// assembled by hand (or row-subset views such as the CV fold splitter's)
+// may populate X alone; Flat then reports no backing and callers fall
+// back to the row views.
 type Set struct {
 	// Names are the expanded column names of X.
 	Names []string
-	// X holds one feature vector per instance.
+	// X holds one feature vector per instance. When the set is dense,
+	// each row is a view into the flat backing array — mutating a row
+	// mutates the backing and vice versa.
 	X [][]float64
 	// Label is the instance label: pipe failed in the instance year.
 	Label []bool
@@ -99,6 +108,48 @@ type Set struct {
 	PipeIdx []int
 	// Year is the instance year.
 	Year []int
+
+	// flat is the contiguous row-major backing (len == len(X)*stride)
+	// when the set is dense, nil otherwise.
+	flat   []float64
+	stride int
+}
+
+// NewDense returns a Set with rows x dim dense storage: a single
+// contiguous backing array with X's rows as capacity-clamped views into
+// it, and the metadata slices preallocated to rows. dim must be positive;
+// rows may be zero.
+func NewDense(names []string, rows, dim int) *Set {
+	if dim <= 0 {
+		panic(fmt.Sprintf("feature: NewDense dim %d must be positive", dim))
+	}
+	if rows < 0 {
+		panic(fmt.Sprintf("feature: NewDense rows %d must be non-negative", rows))
+	}
+	flat := make([]float64, rows*dim)
+	x := make([][]float64, rows)
+	for i := range x {
+		x[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return &Set{
+		Names:   names,
+		X:       x,
+		Label:   make([]bool, rows),
+		Age:     make([]float64, rows),
+		LengthM: make([]float64, rows),
+		PipeIdx: make([]int, rows),
+		Year:    make([]int, rows),
+		flat:    flat,
+		stride:  dim,
+	}
+}
+
+// Flat returns the contiguous row-major backing array and the row stride
+// (== Dim for dense sets), or (nil, 0) when the set was assembled from
+// shared row views. Row i occupies flat[i*stride : (i+1)*stride]; the
+// storage is shared with X, not a copy.
+func (s *Set) Flat() ([]float64, int) {
+	return s.flat, s.stride
 }
 
 // Len returns the number of instances.
@@ -123,9 +174,15 @@ func (s *Set) Positives() int {
 	return c
 }
 
-// Matrix copies X into a dense linalg.Matrix (for the Newton-step fitters).
+// Matrix copies X into a dense linalg.Matrix (for the Newton-step
+// fitters). Dense sets copy their flat backing in one memcpy; view sets
+// fall back to a row-by-row copy.
 func (s *Set) Matrix() *linalg.Matrix {
 	m := linalg.NewMatrix(max(1, s.Len()), max(1, s.Dim()))
+	if s.flat != nil && s.stride == m.Cols {
+		copy(m.Data, s.flat)
+		return m
+	}
 	for i, row := range s.X {
 		copy(m.Row(i), row)
 	}
@@ -274,51 +331,56 @@ func (b *Builder) Names() []string { return append([]string(nil), b.names...) }
 // Dim returns the feature dimensionality.
 func (b *Builder) Dim() int { return len(b.names) }
 
-// row encodes one pipe as of a given year. historyFrom..historyTo bound the
-// failure window visible to the history features.
-func (b *Builder) row(p *dataset.Pipe, year, historyFrom, historyTo int) []float64 {
+// rowInto encodes one pipe as of a given year into x, a caller-owned
+// slice of length Dim (typically a row view of the flat backing).
+// historyFrom..historyTo bound the failure window visible to the history
+// features.
+func (b *Builder) rowInto(x []float64, p *dataset.Pipe, year, historyFrom, historyTo int) {
 	g := b.opts.Groups
-	x := make([]float64, 0, len(b.names))
+	j := 0
+	put := func(v float64) { x[j] = v; j++ }
 	if g.Material {
 		for _, m := range b.materials {
-			x = append(x, boolTo01(p.Material == m))
+			put(boolTo01(p.Material == m))
 		}
 		for _, c := range b.coatings {
-			x = append(x, boolTo01(p.Coating == c))
+			put(boolTo01(p.Coating == c))
 		}
 	}
 	if g.Age {
 		age := p.AgeAt(year)
-		x = append(x, age, math.Log1p(age))
+		put(age)
+		put(math.Log1p(age))
 	}
 	if g.Geometry {
-		x = append(x, math.Log(p.DiameterMM), math.Log(p.LengthM))
+		put(math.Log(p.DiameterMM))
+		put(math.Log(p.LengthM))
 	}
 	if g.Soil {
 		for _, v := range b.soilCorr {
-			x = append(x, boolTo01(p.SoilCorrosivity == v))
+			put(boolTo01(p.SoilCorrosivity == v))
 		}
 		for _, v := range b.soilExp {
-			x = append(x, boolTo01(p.SoilExpansivity == v))
+			put(boolTo01(p.SoilExpansivity == v))
 		}
 		for _, v := range b.soilGeo {
-			x = append(x, boolTo01(p.SoilGeology == v))
+			put(boolTo01(p.SoilGeology == v))
 		}
 		for _, v := range b.soilMap {
-			x = append(x, boolTo01(p.SoilMap == v))
+			put(boolTo01(p.SoilMap == v))
 		}
 	}
 	if g.Traffic {
-		x = append(x, math.Log1p(p.DistToTrafficM))
+		put(math.Log1p(p.DistToTrafficM))
 	}
 	if g.History {
 		n := 0
 		if historyTo >= historyFrom {
 			n = b.net.FailureCount(p.ID, historyFrom, historyTo)
 		}
-		x = append(x, float64(n), boolTo01(n > 0))
+		put(float64(n))
+		put(boolTo01(n > 0))
 	}
-	return x
 }
 
 func boolTo01(v bool) float64 {
@@ -330,26 +392,37 @@ func boolTo01(v bool) float64 {
 
 // TrainSet builds the pipe-year training set for the split and fits the
 // standardization statistics. History features for an instance in year y
-// use failures in [split.TrainFrom, y-1] only.
+// use failures in [split.TrainFrom, y-1] only. The returned set is dense
+// (one contiguous backing array; see Set.Flat).
 func (b *Builder) TrainSet(split dataset.Split) (*Set, error) {
-	s := &Set{Names: b.Names()}
 	pipes := b.net.Pipes()
+	rows := 0
+	for y := split.TrainFrom; y <= split.TrainTo; y++ {
+		for i := range pipes {
+			if pipes[i].LaidYear <= y {
+				rows++
+			}
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("feature: empty training set for split %+v", split)
+	}
+	s := NewDense(b.Names(), rows, b.Dim())
+	r := 0
 	for y := split.TrainFrom; y <= split.TrainTo; y++ {
 		for i := range pipes {
 			p := &pipes[i]
 			if p.LaidYear > y {
 				continue
 			}
-			s.X = append(s.X, b.row(p, y, split.TrainFrom, y-1))
-			s.Label = append(s.Label, b.net.FailedInYear(p.ID, y))
-			s.Age = append(s.Age, p.AgeAt(y))
-			s.LengthM = append(s.LengthM, p.LengthM)
-			s.PipeIdx = append(s.PipeIdx, i)
-			s.Year = append(s.Year, y)
+			b.rowInto(s.X[r], p, y, split.TrainFrom, y-1)
+			s.Label[r] = b.net.FailedInYear(p.ID, y)
+			s.Age[r] = p.AgeAt(y)
+			s.LengthM[r] = p.LengthM
+			s.PipeIdx[r] = i
+			s.Year[r] = y
+			r++
 		}
-	}
-	if s.Len() == 0 {
-		return nil, fmt.Errorf("feature: empty training set for split %+v", split)
 	}
 	b.fitScaler(s)
 	b.apply(s)
@@ -358,28 +431,36 @@ func (b *Builder) TrainSet(split dataset.Split) (*Set, error) {
 
 // TestSet builds the one-row-per-pipe test set for the split, using the
 // standardization fitted by TrainSet. History features use the full
-// training window.
+// training window. The returned set is dense (see Set.Flat).
 func (b *Builder) TestSet(split dataset.Split) (*Set, error) {
 	if !b.fitted {
 		return nil, fmt.Errorf("feature: TestSet called before TrainSet")
 	}
-	s := &Set{Names: b.Names()}
 	pipes := b.net.Pipes()
 	y := split.TestYear
+	rows := 0
+	for i := range pipes {
+		if pipes[i].LaidYear <= y {
+			rows++
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("feature: empty test set for split %+v", split)
+	}
+	s := NewDense(b.Names(), rows, b.Dim())
+	r := 0
 	for i := range pipes {
 		p := &pipes[i]
 		if p.LaidYear > y {
 			continue
 		}
-		s.X = append(s.X, b.row(p, y, split.TrainFrom, split.TrainTo))
-		s.Label = append(s.Label, b.net.FailedInYear(p.ID, y))
-		s.Age = append(s.Age, p.AgeAt(y))
-		s.LengthM = append(s.LengthM, p.LengthM)
-		s.PipeIdx = append(s.PipeIdx, i)
-		s.Year = append(s.Year, y)
-	}
-	if s.Len() == 0 {
-		return nil, fmt.Errorf("feature: empty test set for split %+v", split)
+		b.rowInto(s.X[r], p, y, split.TrainFrom, split.TrainTo)
+		s.Label[r] = b.net.FailedInYear(p.ID, y)
+		s.Age[r] = p.AgeAt(y)
+		s.LengthM[r] = p.LengthM
+		s.PipeIdx[r] = i
+		s.Year[r] = y
+		r++
 	}
 	b.apply(s)
 	return s, nil

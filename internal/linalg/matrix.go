@@ -49,9 +49,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	MatVec(out, m.Data, m.Cols, x)
 	return out
 }
 

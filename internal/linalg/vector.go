@@ -14,15 +14,48 @@ import (
 
 // Dot returns the inner product of a and b. It panics on length mismatch,
 // which always indicates a schema bug rather than a data condition.
+//
+// The loop is 4-way unrolled into a single accumulator: the summation
+// order is exactly the sequential left-to-right order, so results are
+// bit-identical to a naive loop (and to MatVec, which reuses this body).
+// The unroll buys hoisted bounds checks, not a reassociated sum — keeping
+// every Dot-based score reproducible regardless of which kernel ran it.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)]
 	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
+}
+
+// MatVec computes the matrix-vector product of a row-major flat matrix
+// against x: dst[i] = dot(flat[i*stride:(i+1)*stride], x). It is the
+// scoring kernel of the train/serve hot path — one contiguous streaming
+// pass over the backing array with no per-row slice-header loads. Each
+// row's sum uses the same sequential order as Dot, so flat-path and
+// row-path scores agree bit-for-bit. It panics when len(x) != stride or
+// len(flat) != len(dst)*stride.
+func MatVec(dst, flat []float64, stride int, x []float64) {
+	if len(x) != stride {
+		panic(fmt.Sprintf("linalg: MatVec stride %d vs vector length %d", stride, len(x)))
+	}
+	if len(flat) != len(dst)*stride {
+		panic(fmt.Sprintf("linalg: MatVec flat length %d != %d rows x stride %d", len(flat), len(dst), stride))
+	}
+	for i := range dst {
+		dst[i] = Dot(flat[i*stride:(i+1)*stride], x)
+	}
 }
 
 // Axpy computes y += alpha*x in place. It panics on length mismatch.
