@@ -11,13 +11,15 @@ test:
 
 # verify is the pre-submit gate: static checks, the race detector on the
 # concurrency-bearing packages (the parallel training engine, the metrics
-# registry, the singleflight HTTP layer and the experiment fan-out), the
-# allocation-regression gate on the AUC kernel (run without -race, which
+# registry, the singleflight + snapshot HTTP layer, the response cache
+# and the experiment fan-out), the allocation-regression gates on the AUC
+# kernel and the serve ranking fast path (run without -race, which
 # inflates allocation counts), and a short fuzz pass over the CSV parsers.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/experiments/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/...
 	$(GO) test ./internal/eval -run='^TestAUCKernelZeroAlloc$$' -count=1
+	$(GO) test ./internal/serve -run='^TestRankingCacheHitZeroAlloc$$' -count=1
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each dataset fuzzer briefly (FUZZTIME per target) —
@@ -31,12 +33,16 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # bench-json records the training/serving hot-path benchmarks as JSON so
-# perf can be diffed commit to commit (BENCH_core.json is checked in).
-# Each benchmark runs long enough for ns/op to stabilize; steady-state
-# B/op for the scratch-reusing kernels shrinks toward zero as iteration
-# counts grow, so treat allocs/op (not B/op) as the regression signal.
+# perf can be diffed commit to commit (BENCH_core.json and
+# BENCH_serve.json are checked in). Each benchmark runs long enough for
+# ns/op to stabilize; steady-state B/op for the scratch-reusing kernels
+# shrinks toward zero as iteration counts grow, so treat allocs/op (not
+# B/op) as the regression signal.
 bench-json:
 	{ $(GO) test -run='^$$' -bench='BenchmarkFitnessEval|BenchmarkScoreAllFlat' ./internal/core/; \
 	  $(GO) test -run='^$$' -bench='BenchmarkAUCKernel|BenchmarkTopK' ./internal/eval/; \
 	  $(GO) test -run='^$$' -bench='BenchmarkMatVec|BenchmarkDot' ./internal/linalg/; } \
-	| $(GO) run ./cmd/benchjson > BENCH_core.json
+	| $(GO) run ./cmd/benchjson -o BENCH_core.json
+	{ $(GO) test -run='^$$' -bench='BenchmarkRankingHandler|BenchmarkPlanHandler' ./internal/serve/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkRespCache' ./internal/respcache/; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_serve.json

@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -214,6 +215,41 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("ranking: status %d body %s", status, body)
 	}
 
+	// Snapshot + response cache contract: repeated rankings replay
+	// byte-identical bodies with a strong ETag and explicit
+	// Content-Length, and a conditional request short-circuits to 304.
+	resp1, err := http.Get(base + "/api/models/Logistic/ranking?top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, _ := io.ReadAll(resp1.Body)
+	resp1.Body.Close()
+	if !bytes.Equal(replay, body) {
+		t.Fatalf("cached ranking replay differs:\n%s\nvs\n%s", replay, body)
+	}
+	etag := resp1.Header.Get("Etag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ranking ETag missing/unquoted: %q", etag)
+	}
+	if cl := resp1.Header.Get("Content-Length"); cl != fmt.Sprint(len(replay)) {
+		t.Fatalf("ranking Content-Length %q for %d bytes", cl, len(replay))
+	}
+	condReq, err := http.NewRequest("GET", base+"/api/models/Logistic/ranking?top=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condReq.Header.Set("If-None-Match", etag)
+	condResp, err := http.DefaultClient.Do(condReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condBody, _ := io.ReadAll(condResp.Body)
+	condResp.Body.Close()
+	if condResp.StatusCode != http.StatusNotModified || len(condBody) != 0 {
+		t.Fatalf("conditional ranking: status %d, %d-byte body (want 304, empty)",
+			condResp.StatusCode, len(condBody))
+	}
+
 	// A top far beyond the pipe count must clamp to the full ranking —
 	// not error, not over-return, not duplicate (pins eval.TopK's clamp
 	// end to end through the serve layer).
@@ -293,6 +329,15 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if snap.Counters["serve.errors.ranking"] < 1 || snap.Counters["serve.errors.plan"] < 1 {
 		t.Errorf("error counters did not move: %+v", snap.Counters)
+	}
+	// The replayed + conditional rankings above must have hit the
+	// response cache, and the first encoding was its one miss.
+	if snap.Counters["respcache.serve.hits"] < 2 {
+		t.Errorf("response cache hits = %d, want >= 2: %+v",
+			snap.Counters["respcache.serve.hits"], snap.Counters)
+	}
+	if snap.Counters["respcache.serve.misses"] < 1 {
+		t.Errorf("response cache misses missing: %+v", snap.Counters)
 	}
 }
 

@@ -1,10 +1,17 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
-// stable JSON document on stdout, so benchmark results can be checked in
-// and diffed across commits (see `make bench-json` and BENCH_core.json).
+// stable JSON document, so benchmark results can be checked in and
+// diffed across commits (see `make bench-json`, BENCH_core.json and
+// BENCH_serve.json).
 //
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson > BENCH_core.json
+//	go test -run '^$' -bench . ./internal/serve/ | benchjson -o BENCH_serve.json
+//
+// -o writes to the named file atomically-enough for a build tree (the
+// file appears complete or not at all, via a rename), which lets one
+// make recipe emit several BENCH_*.json documents without shell
+// redirection ordering hazards.
 //
 // Only benchmark result lines are parsed; all other output (pass/fail
 // summaries, pkg headers) is ignored. Lines that report B/op and
@@ -15,8 +22,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -86,6 +95,9 @@ func parse(lines []string) ([]Result, error) {
 }
 
 func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout (written via a temp-file rename)")
+	flag.Parse()
+
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -105,10 +117,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := write(results, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// write emits the results as indented JSON to path ("" = stdout). File
+// output goes through a temp file + rename so a failed run never leaves
+// a truncated BENCH_*.json behind.
+func write(results []Result, path string) error {
+	if path == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

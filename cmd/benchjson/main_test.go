@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchOutput(t *testing.T) {
 	lines := []string{
@@ -44,5 +49,32 @@ func TestParseRejectsNothing(t *testing.T) {
 	}
 	if got != nil {
 		t.Fatalf("unexpected results: %+v", got)
+	}
+}
+
+func TestWriteToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	results := []Result{{Name: "BenchmarkX", Iterations: 10, NsPerOp: 1.5}}
+	if err := write(results, path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("file is not valid JSON: %v\n%s", err, blob)
+	}
+	if len(back) != 1 || back[0].Name != "BenchmarkX" || back[0].NsPerOp != 1.5 {
+		t.Fatalf("round trip %+v", back)
+	}
+	// No temp droppings next to the output.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
 	}
 }

@@ -16,6 +16,10 @@
 //	GET  /api/pipes/{id}
 //	POST /api/plan  {"model": "...", "budget_km": 10}
 //	GET  /metrics   (JSON metrics snapshot; disable with -metrics=false)
+//
+// Ranking, cohort and hotspot responses are served from an in-memory
+// encoded-response cache (size via -cache-mb) with strong ETags;
+// clients sending If-None-Match get 304 Not-Modified.
 package main
 
 import (
@@ -39,7 +43,11 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "synthetic region scale")
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	metrics := flag.Bool("metrics", true, "expose the GET /metrics observability endpoint")
+	cacheMB := flag.Int64("cache-mb", serve.DefaultCacheBytes>>20, "response cache budget in MiB (encoded ranking/cohort/hotspot bodies)")
 	flag.Parse()
+	if *cacheMB < 1 {
+		log.Fatalf("-cache-mb must be >= 1, got %d", *cacheMB)
+	}
 
 	var network *pipefail.Network
 	var err error
@@ -56,6 +64,9 @@ func main() {
 	s, err := serve.New(network, log.Default(), pipefail.WithSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cacheMB<<20 != serve.DefaultCacheBytes {
+		s.SetResponseCacheBytes(*cacheMB << 20)
 	}
 	handler := s.Handler()
 	if !*metrics {

@@ -18,6 +18,22 @@ type Calibrator interface {
 	FitCal(scores []float64, labels []bool) error
 	// Prob maps a raw score to a probability in [0, 1].
 	Prob(score float64) float64
+	// ProbAll maps every score through the same function as Prob in one
+	// batch, writing into dst when it has the capacity (a fresh slice is
+	// allocated otherwise) and returning the filled slice. Callers that
+	// price a whole ranking (the serve snapshot builder) pay one call
+	// instead of one virtual dispatch per pipe, and each element is
+	// guaranteed bit-identical to Prob of the same score.
+	ProbAll(scores []float64, dst []float64) []float64
+}
+
+// fillProbs sizes dst for len(scores) results, reusing its backing array
+// when possible — the shared plumbing behind both ProbAll implementations.
+func fillProbs(scores, dst []float64) []float64 {
+	if cap(dst) < len(scores) {
+		return make([]float64, len(scores))
+	}
+	return dst[:len(scores)]
 }
 
 // PlattCalibrator fits P(y=1|s) = sigmoid(a·s + b) by Newton iterations on
@@ -93,6 +109,15 @@ func (p *PlattCalibrator) Prob(score float64) float64 {
 		return 0.5
 	}
 	return stats.Logistic(p.A*score + p.B)
+}
+
+// ProbAll implements Calibrator.
+func (p *PlattCalibrator) ProbAll(scores []float64, dst []float64) []float64 {
+	dst = fillProbs(scores, dst)
+	for i, s := range scores {
+		dst[i] = p.Prob(s)
+	}
+	return dst
 }
 
 // IsotonicCalibrator fits a monotone non-decreasing step function by the
@@ -176,4 +201,17 @@ func (c *IsotonicCalibrator) Prob(score float64) float64 {
 		}
 	}
 	return c.values[lo]
+}
+
+// ProbAll implements Calibrator: one binary search per score into the
+// fitted step function. The block list is typically tiny after PAV
+// merging, so the per-element cost is a handful of comparisons; batching
+// exists so callers can price an entire ranking once at train time and
+// never touch the calibrator on the request path.
+func (c *IsotonicCalibrator) ProbAll(scores []float64, dst []float64) []float64 {
+	dst = fillProbs(scores, dst)
+	for i, s := range scores {
+		dst[i] = c.Prob(s)
+	}
+	return dst
 }

@@ -220,3 +220,43 @@ func TestLoadLinearErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestProbAllMatchesProb pins the batch contract: every element of
+// ProbAll is bit-identical to Prob of the same score, for both
+// calibrators, fitted and unfitted, with and without a reused dst.
+func TestProbAllMatchesProb(t *testing.T) {
+	scores, labels := calibrationData(11, 400)
+	for _, cal := range []Calibrator{&PlattCalibrator{}, &IsotonicCalibrator{}} {
+		// Unfitted: ProbAll must agree with Prob's 0.5 fallback.
+		got := cal.ProbAll(scores[:5], nil)
+		for i, p := range got {
+			if p != cal.Prob(scores[i]) {
+				t.Fatalf("%s unfitted: ProbAll[%d]=%v, Prob=%v", cal.Name(), i, p, cal.Prob(scores[i]))
+			}
+		}
+		if err := cal.FitCal(scores, labels); err != nil {
+			t.Fatal(err)
+		}
+		got = cal.ProbAll(scores, nil)
+		if len(got) != len(scores) {
+			t.Fatalf("%s: ProbAll returned %d probs for %d scores", cal.Name(), len(got), len(scores))
+		}
+		for i, p := range got {
+			if p != cal.Prob(scores[i]) {
+				t.Fatalf("%s: ProbAll[%d]=%v, Prob=%v", cal.Name(), i, p, cal.Prob(scores[i]))
+			}
+		}
+		// Reusing dst must not allocate a fresh slice.
+		dst := make([]float64, len(scores))
+		if got := cal.ProbAll(scores, dst); &got[0] != &dst[0] {
+			t.Fatalf("%s: ProbAll ignored the provided dst", cal.Name())
+		}
+		// Short dst falls back to allocation, long dst is truncated.
+		if got := cal.ProbAll(scores, make([]float64, 3)); len(got) != len(scores) {
+			t.Fatalf("%s: short dst result length %d", cal.Name(), len(got))
+		}
+		if got := cal.ProbAll(scores[:7], dst); len(got) != 7 {
+			t.Fatalf("%s: long dst not truncated: %d", cal.Name(), len(got))
+		}
+	}
+}

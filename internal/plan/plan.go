@@ -147,6 +147,19 @@ func Greedy(cands []Candidate, cm CostModel, b Budget) (*Plan, error) {
 	return p, nil
 }
 
+// IDs returns the selected pipe IDs in selection order (nil for an
+// empty plan, so JSON encodings distinguish "no selection" naturally).
+func (p *Plan) IDs() []string {
+	if len(p.Selected) == 0 {
+		return nil
+	}
+	ids := make([]string, len(p.Selected))
+	for i, c := range p.Selected {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
 // Outcome is the realized performance of a plan against the actual
 // failures of the planned year.
 type Outcome struct {

@@ -193,3 +193,17 @@ func TestGreedyBudgetInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPlanIDs(t *testing.T) {
+	p := &Plan{Selected: []Candidate{
+		{ID: "b", FailProb: 0.2, LengthM: 10},
+		{ID: "a", FailProb: 0.1, LengthM: 20},
+	}}
+	ids := p.IDs()
+	if len(ids) != 2 || ids[0] != "b" || ids[1] != "a" {
+		t.Fatalf("IDs() = %v, want selection order [b a]", ids)
+	}
+	if got := (&Plan{}).IDs(); got != nil {
+		t.Fatalf("empty plan IDs() = %#v, want nil", got)
+	}
+}

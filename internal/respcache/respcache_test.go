@@ -1,0 +1,189 @@
+package respcache
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newTestCache(t *testing.T, maxBytes int64) (*Cache, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry("test")
+	return New(t.Name(), maxBytes, reg), reg
+}
+
+func counters(reg *obs.Registry, name string) (hits, misses, evictions int64) {
+	prefix := "respcache." + name + "."
+	return reg.Counter(prefix + "hits").Value(),
+		reg.Counter(prefix + "misses").Value(),
+		reg.Counter(prefix + "evictions").Value()
+}
+
+func TestGetOrFillCachesAndCounts(t *testing.T) {
+	c, reg := newTestCache(t, 1<<20)
+	fills := 0
+	fill := func() (Entry, error) {
+		fills++
+		return Entry{Body: []byte(`{"x":1}`), ETag: `"v1"`}, nil
+	}
+	for i := 0; i < 3; i++ {
+		e, err := c.GetOrFill([]byte("k1"), fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(e.Body) != `{"x":1}` || e.ETag != `"v1"` {
+			t.Fatalf("entry %+v", e)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	hits, misses, _ := counters(reg, t.Name())
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if c.Len() != 1 || c.SizeBytes() != int64(len(`{"x":1}`)) {
+		t.Fatalf("len=%d size=%d", c.Len(), c.SizeBytes())
+	}
+}
+
+func TestFillErrorNeverCached(t *testing.T) {
+	c, reg := newTestCache(t, 1<<20)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.GetOrFill([]byte("bad"), func() (Entry, error) {
+			calls++
+			return Entry{}, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err %v", err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("failed fill should rerun every time, ran %d", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error cached: %v", c.Keys())
+	}
+	if hits, misses, _ := counters(reg, t.Name()); hits != 0 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget for exactly two 10-byte bodies.
+	c, reg := newTestCache(t, 20)
+	body := func(i int) []byte { return []byte(fmt.Sprintf("0123456%03d", i)) }
+	for i := 0; i < 2; i++ {
+		i := i
+		c.GetOrFill([]byte("k"+strconv.Itoa(i)), func() (Entry, error) {
+			return Entry{Body: body(i)}, nil
+		})
+	}
+	// Touch k0 so k1 is the LRU tail, then insert k2.
+	if _, ok := c.Get([]byte("k0")); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.GetOrFill([]byte("k2"), func() (Entry, error) {
+		return Entry{Body: body(2)}, nil
+	})
+	if _, ok := c.Get([]byte("k1")); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	if _, ok := c.Get([]byte("k0")); !ok {
+		t.Fatal("recently used k0 evicted")
+	}
+	if _, _, ev := counters(reg, t.Name()); ev != 1 {
+		t.Fatalf("evictions=%d, want 1", ev)
+	}
+	if c.SizeBytes() != 20 {
+		t.Fatalf("size=%d", c.SizeBytes())
+	}
+}
+
+func TestOversizedBodyNotInserted(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	e, err := c.GetOrFill([]byte("big"), func() (Entry, error) {
+		return Entry{Body: make([]byte, 64)}, nil
+	})
+	if err != nil || len(e.Body) != 64 {
+		t.Fatalf("oversized fill must still serve: %v %d", err, len(e.Body))
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversized body inserted")
+	}
+}
+
+func TestSingleflightSharesOneFill(t *testing.T) {
+	c, _ := newTestCache(t, 1<<20)
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := c.GetOrFill([]byte("shared"), func() (Entry, error) {
+				fills.Add(1)
+				<-gate // hold the fill open so everyone piles up
+				return Entry{Body: []byte("shared-body")}, nil
+			})
+			if err != nil || string(e.Body) != "shared-body" {
+				t.Errorf("worker got %v %q", err, e.Body)
+			}
+		}()
+	}
+	// Let the workers queue up behind the first fill, then release it.
+	close(gate)
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want 1", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestSetHeadersZeroAllocOnHit(t *testing.T) {
+	c, _ := newTestCache(t, 1<<20)
+	c.GetOrFill([]byte("k"), func() (Entry, error) {
+		return Entry{Body: []byte("xyz"), ETag: `"v9"`}, nil
+	})
+	h := make(http.Header)
+	key := []byte("k")
+	allocs := testing.AllocsPerRun(200, func() {
+		e, ok := c.Get(key)
+		if !ok {
+			t.Fatal("miss")
+		}
+		e.SetHeaders(h)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocated %.1f times per op, want 0", allocs)
+	}
+	if h.Get("Etag") != `"v9"` || h.Get("Content-Length") != "3" {
+		t.Fatalf("headers %v", h)
+	}
+}
+
+func TestBodyETagDeterministic(t *testing.T) {
+	a := BodyETag([]byte("hello"))
+	b := BodyETag([]byte("hello"))
+	if a != b {
+		t.Fatalf("%q != %q", a, b)
+	}
+	if a == BodyETag([]byte("world")) {
+		t.Fatal("different bodies share an ETag")
+	}
+	if a[0] != '"' || a[len(a)-1] != '"' {
+		t.Fatalf("ETag %q not quoted", a)
+	}
+}

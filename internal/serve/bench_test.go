@@ -1,0 +1,75 @@
+package serve
+
+// Serve-layer hot-path benchmarks: the ranking and plan handlers driven
+// exactly as a request would hit them (path value set, query string
+// parsed, body decoded), but through a no-op ResponseWriter so the
+// numbers measure the handler, not the test recorder. `make bench-json`
+// records these into BENCH_serve.json; EXPERIMENTS.md tracks the
+// before/after history.
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+)
+
+// nopWriter discards the response body and reuses one header map across
+// iterations, so a zero-allocation handler path benches at 0 allocs/op.
+type nopWriter struct {
+	h http.Header
+}
+
+func (w *nopWriter) Header() http.Header         { return w.h }
+func (w *nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nopWriter) WriteHeader(int)             {}
+
+// benchServer builds a server over a mid-size synthetic region and
+// trains the cheap heuristic model once, so the benchmarks measure the
+// steady-state read path.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	net, err := pipefail.GenerateRegion("A", 7, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(net, log.New(io.Discard, "", 0), pipefail.WithESGenerations(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.get("Heuristic-Age"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkRankingHandler(b *testing.B) {
+	s := benchServer(b)
+	req := httptest.NewRequest("GET", "/api/models/Heuristic-Age/ranking?top=100", nil)
+	req.SetPathValue("name", "Heuristic-Age")
+	w := &nopWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleRanking(w, req)
+	}
+}
+
+func BenchmarkPlanHandler(b *testing.B) {
+	s := benchServer(b)
+	body := []byte(`{"model":"Heuristic-Age","budget_km":10}`)
+	rdr := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/api/plan", rdr)
+	w := &nopWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rdr.Reset(body)
+		req.Body = io.NopCloser(rdr)
+		s.handlePlan(w, req)
+	}
+}

@@ -6,18 +6,28 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/respcache"
 )
+
+// DefaultCacheBytes is the response-cache budget a new Server starts
+// with; cmd/pipeserve overrides it via the -cache-mb flag.
+const DefaultCacheBytes = 32 << 20
 
 // Server wires one network and its pipeline into an http.Handler.
 // All handlers are safe for concurrent use; model training is
@@ -25,23 +35,34 @@ import (
 // requests for the same model block on the in-flight run and share its
 // outcome instead of being refused.
 //
+// The read path is lock-free: trained models live in an immutable
+// copy-on-write map behind an atomic pointer (published under mu, read
+// with a single atomic load), each pointing at a frozen modelSnapshot
+// (see snapshot.go). Encoded ranking/cohort/hotspot responses are
+// replayed from a size-bounded respcache LRU, with 304 Not-Modified
+// served off the snapshot ETag.
+//
 // Every route is wrapped in metrics middleware (request counter, latency
 // histogram, error counter, in-flight gauge) recording into the default
 // obs registry, which GET /metrics exposes as a JSON snapshot; DESIGN.md
 // documents the catalog.
 type Server struct {
-	net  *pipefail.Network
-	pipe *pipefail.Pipeline
-	log  *log.Logger
+	net   *pipefail.Network
+	pipe  *pipefail.Pipeline
+	log   *log.Logger
+	cache *respcache.Cache
 
 	// trainFn runs one training pass; it defaults to (*Server).train and
 	// is a seam for tests that need to inject training failures.
-	trainFn func(name string) (*trainedModel, error)
+	trainFn func(name string) (*modelSnapshot, error)
 
 	metrics serveMetrics
 
-	mu      sync.RWMutex
-	models  map[string]*trainedModel
+	// models is the copy-on-write name → snapshot map: readers Load once
+	// and never lock; writers clone-and-swap under mu.
+	models atomic.Pointer[map[string]*modelSnapshot]
+
+	mu      sync.Mutex // guards pending and models publication
 	pending map[string]*trainJob
 }
 
@@ -66,21 +87,11 @@ func newServeMetrics() serveMetrics {
 	}
 }
 
-type trainedModel struct {
-	model   pipefail.Model
-	ranking *pipefail.Ranking
-	// rankIdx maps pipe ID → row in ranking, built once at train time so
-	// per-request handlers never scan PipeIDs.
-	rankIdx    map[string]int
-	calibrator core.Calibrator
-	fitSeconds float64
-}
-
 // trainJob is the singleflight slot for one model name: done is closed
 // when the training run finishes, after tm and err are set.
 type trainJob struct {
 	done chan struct{}
-	tm   *trainedModel
+	tm   *modelSnapshot
 	err  error
 }
 
@@ -99,12 +110,21 @@ func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOpt
 		net:     net,
 		pipe:    p,
 		log:     logger,
+		cache:   respcache.New("serve", DefaultCacheBytes, nil),
 		metrics: newServeMetrics(),
-		models:  make(map[string]*trainedModel),
 		pending: make(map[string]*trainJob),
 	}
+	empty := make(map[string]*modelSnapshot)
+	s.models.Store(&empty)
 	s.trainFn = s.train
 	return s, nil
+}
+
+// SetResponseCacheBytes replaces the response cache with one capped at
+// maxBytes. Call before serving traffic (it is not synchronized with
+// in-flight requests).
+func (s *Server) SetResponseCacheBytes(maxBytes int64) {
+	s.cache = respcache.New("serve", maxBytes, nil)
 }
 
 // Handler returns the routed http.Handler. Every route, including
@@ -158,15 +178,80 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// writeJSON sets Content-Type before WriteHeader — headers changed after
-// the status line is flushed are silently ignored — and reports encoding
-// failures (client hung up mid-body, unencodable value) to the server
-// log instead of dropping them.
+// jsonCT is the Content-Type header value, preallocated so hot paths
+// assign it into the header map without building a fresh slice.
+var jsonCT = []string{"application/json"}
+
+// bufPool recycles the encode buffers behind writeJSON and the cache
+// fills. Buffers that grew past bufPoolMax are dropped instead of
+// pooled, so one giant response cannot pin memory forever.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const bufPoolMax = 1 << 20
+
+// keyPool recycles response-cache key scratch; keys are rebuilt per
+// request from (route, model, canonical params).
+var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// writeJSON encodes v into a pooled buffer, then writes it with
+// Content-Type and an explicit Content-Length — a single non-chunked
+// body write with no per-request buffer growth. Encoding happens before
+// any header is flushed, so an unencodable value becomes a clean 500
+// instead of a torn 200.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		s.log.Printf("serve: encode response (status %d): %v", status, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		bufPool.Put(buf)
+		return
+	}
+	h := w.Header()
+	h["Content-Type"] = jsonCT
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.log.Printf("serve: write response (status %d): %v", status, err)
+	}
+	if buf.Cap() <= bufPoolMax {
+		bufPool.Put(buf)
+	}
+}
+
+// encodeBody marshals v into a fresh exactly-sized byte slice (via a
+// pooled scratch buffer) for insertion into the response cache.
+func encodeBody(v any) ([]byte, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		bufPool.Put(buf)
+		return nil, err
+	}
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	if buf.Cap() <= bufPoolMax {
+		bufPool.Put(buf)
+	}
+	return body, nil
+}
+
+// writeCached serves one cache entry: 304 Not-Modified when the client
+// already holds the entry's ETag, otherwise the full body with ETag and
+// Content-Length from the entry's prebuilt header slices. The steady
+// state (cache hit, reused connection) allocates nothing.
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, e respcache.Entry) {
+	h := w.Header()
+	if e.ETag != "" && r.Header.Get("If-None-Match") == e.ETag {
+		e.SetHeaders(h) // 304 still carries the validator
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = jsonCT
+	e.SetHeaders(h)
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(e.Body); err != nil {
+		s.log.Printf("serve: write cached response: %v", err)
 	}
 }
 
@@ -178,10 +263,37 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, format string, args
 	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// queryParam extracts the first value of key from a raw query string
+// without building the url.Values map (url.Query allocates per call).
+// Escaped values fall back to url.QueryUnescape; the well-known keys
+// this server uses ("top", "min", "by") never need escaping themselves.
+func queryParam(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		var pair string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k != key {
+			continue
+		}
+		if strings.ContainsAny(v, "%+") {
+			if dec, err := url.QueryUnescape(v); err == nil {
+				return dec, true
+			}
+		}
+		return v, true
+	}
+	return "", false
+}
+
 // handleMetrics serves a JSON snapshot of the default obs registry:
 // per-endpoint request/latency/error series, the training singleflight
-// counters, per-model fit-duration histograms and the worker-pool task
-// counters (see DESIGN.md for the catalog).
+// counters, the response-cache hit/miss/eviction counters, per-model
+// fit-duration histograms and the worker-pool task counters (see
+// DESIGN.md for the catalog).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, obs.Default().Snapshot())
 }
@@ -212,12 +324,11 @@ type modelStatus struct {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	models := *s.models.Load()
 	var out []modelStatus
 	for _, name := range pipefail.Models() {
 		st := modelStatus{Name: name}
-		if tm, ok := s.models[name]; ok {
+		if tm, ok := models[name]; ok {
 			st.Trained = true
 			st.AUC = tm.ranking.AUC()
 			st.Det1 = tm.ranking.DetectionAt(0.01)
@@ -237,18 +348,23 @@ func knownModel(name string) bool {
 	return false
 }
 
-// get returns the trained model, training it on first use. Exactly one
-// goroutine trains any given model; concurrent callers block on the
-// in-flight job's done channel and share its result, so the HTTP layer
-// degrades to queueing (not errors) under concurrent load. A failed run
-// is not cached: its waiters all receive the error, and the next request
-// starts a fresh attempt.
-func (s *Server) get(name string) (*trainedModel, error) {
+// get returns the trained model snapshot, training it on first use. The
+// fast path is one atomic load of the copy-on-write map — no lock.
+// Exactly one goroutine trains any given model; concurrent callers block
+// on the in-flight job's done channel and share its result, so the HTTP
+// layer degrades to queueing (not errors) under concurrent load. A
+// failed run is not published: its waiters all receive the error, and
+// the next request starts a fresh attempt.
+func (s *Server) get(name string) (*modelSnapshot, error) {
+	if tm, ok := (*s.models.Load())[name]; ok {
+		s.metrics.sfCached.Inc()
+		return tm, nil
+	}
 	if !knownModel(name) {
 		return nil, fmt.Errorf("unknown model %q", name)
 	}
 	s.mu.Lock()
-	if tm, ok := s.models[name]; ok {
+	if tm, ok := (*s.models.Load())[name]; ok {
 		s.mu.Unlock()
 		s.metrics.sfCached.Inc()
 		return tm, nil
@@ -272,16 +388,29 @@ func (s *Server) get(name string) (*trainedModel, error) {
 	s.mu.Lock()
 	delete(s.pending, name)
 	if job.err == nil {
-		s.models[name] = job.tm
+		s.publishLocked(name, job.tm)
 	}
 	s.mu.Unlock()
 	close(job.done)
 	return job.tm, job.err
 }
 
-// train runs one full training pass for name and assembles the servable
-// model with its precomputed pipe-ID index. It does not touch Server maps.
-func (s *Server) train(name string) (*trainedModel, error) {
+// publishLocked swaps in a new copy-on-write map containing tm. Callers
+// hold s.mu, so concurrent publishes never lose entries; readers see
+// either the old or the new complete map, never a partial write.
+func (s *Server) publishLocked(name string, tm *modelSnapshot) {
+	old := *s.models.Load()
+	next := make(map[string]*modelSnapshot, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = tm
+	s.models.Store(&next)
+}
+
+// train runs one full training pass for name and assembles the frozen
+// snapshot (see snapshot.go). It does not touch Server maps.
+func (s *Server) train(name string) (*modelSnapshot, error) {
 	start := time.Now()
 	m, err := s.pipe.Train(name)
 	if err != nil {
@@ -291,22 +420,16 @@ func (s *Server) train(name string) (*trainedModel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
 	}
-	tm := &trainedModel{
-		model: m, ranking: ranking,
-		rankIdx:    make(map[string]int, ranking.Len()),
-		fitSeconds: time.Since(start).Seconds(),
-	}
-	for i, id := range ranking.PipeIDs {
-		tm.rankIdx[id] = i
-	}
+	var calibrator core.Calibrator
 	cal := &core.IsotonicCalibrator{}
 	if cerr := cal.FitCal(ranking.Scores, ranking.Failed); cerr != nil {
-		// Calibration failure is non-fatal: plans fall back to rank-only
-		// probabilities.
+		// Calibration failure is non-fatal: plans are refused while
+		// rankings still serve (without fail_prob).
 		s.log.Printf("serve: calibration for %s failed: %v", name, cerr)
 	} else {
-		tm.calibrator = cal
+		calibrator = cal
 	}
+	tm := newModelSnapshot(name, m, ranking, calibrator, time.Since(start).Seconds())
 	s.log.Printf("serve: trained %s in %.2fs (AUC %.4f)", name, tm.fitSeconds, tm.ranking.AUC())
 	return tm, nil
 }
@@ -333,6 +456,10 @@ type rankedPipe struct {
 	FailProb float64 `json:"fail_prob,omitempty"`
 }
 
+// handleRanking serves the top-N inspection worklist. Steady state is a
+// pure replay: one atomic map load for the snapshot, a pooled key build,
+// one LRU lookup, and a single body write (or a 304 when the client
+// already holds the snapshot's ETag) — zero heap allocations.
 func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	tm, err := s.get(name)
@@ -341,22 +468,37 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	top := 50
-	if q := r.URL.Query().Get("top"); q != "" {
-		if _, err := fmt.Sscanf(q, "%d", &top); err != nil || top < 1 {
+	if q, _ := queryParam(r.URL.RawQuery, "top"); q != "" {
+		top, err = strconv.Atoi(q)
+		if err != nil || top < 1 {
 			s.writeErr(w, http.StatusBadRequest, "bad top parameter %q", q)
 			return
 		}
 	}
-	ids := tm.ranking.TopIDs(top)
-	out := make([]rankedPipe, 0, len(ids))
-	for i, id := range ids {
-		rp := rankedPipe{Rank: i + 1, PipeID: id, Score: tm.ranking.Scores[tm.rankIdx[id]]}
-		if tm.calibrator != nil {
-			rp.FailProb = tm.calibrator.Prob(rp.Score)
+	entries := tm.topEntries(top)
+
+	// Canonical key: the clamped, re-rendered count, so top=050 and any
+	// top beyond the ranking length share one cache entry.
+	kp := keyPool.Get().(*[]byte)
+	key := append((*kp)[:0], "ranking\x00"...)
+	key = append(key, name...)
+	key = append(key, 0)
+	key = strconv.AppendInt(key, int64(len(entries)), 10)
+	e, err := s.cache.GetOrFill(key, func() (respcache.Entry, error) {
+		body, err := encodeBody(entries)
+		if err != nil {
+			return respcache.Entry{}, err
 		}
-		out = append(out, rp)
+		return respcache.Entry{Body: body, ETag: tm.etag}, nil
+	})
+	*kp = key
+	keyPool.Put(kp)
+	if err != nil {
+		s.log.Printf("serve: encode ranking for %s: %v", name, err)
+		s.writeErr(w, http.StatusInternalServerError, "encoding ranking failed")
+		return
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeCached(w, r, e)
 }
 
 func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
@@ -379,60 +521,99 @@ func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 		"failures":       len(s.net.FailuresOf(id)),
 	}
 	scores := map[string]float64{}
-	s.mu.RLock()
-	for name, tm := range s.models {
+	for name, tm := range *s.models.Load() {
 		if i, ok := tm.rankIdx[id]; ok {
 			scores[name] = tm.ranking.Scores[i]
 		}
 	}
-	s.mu.RUnlock()
 	if len(scores) > 0 {
 		resp["scores"] = scores
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleCohorts replays cohort tables from the response cache — the
+// network is immutable for the life of the server, so each dimension is
+// computed and encoded exactly once, with a body-hash ETag.
 func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
-	by := r.URL.Query().Get("by")
+	by, _ := queryParam(r.URL.RawQuery, "by")
+	var fill func() (any, error)
 	switch by {
 	case "", "material":
-		s.writeJSON(w, http.StatusOK, s.net.CohortByMaterial())
+		fill = func() (any, error) { return s.net.CohortByMaterial(), nil }
 	case "age":
-		rows, err := s.net.CohortByAgeBand(10)
-		if err != nil {
-			s.writeErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, rows)
+		fill = func() (any, error) { return s.net.CohortByAgeBand(10) }
 	case "diameter":
-		rows, err := s.net.CohortByDiameterBand([]float64{100, 200, 300, 450})
-		if err != nil {
-			s.writeErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, rows)
+		fill = func() (any, error) { return s.net.CohortByDiameterBand([]float64{100, 200, 300, 450}) }
 	default:
 		s.writeErr(w, http.StatusBadRequest, "unknown cohort dimension %q (want material, age or diameter)", by)
+		return
 	}
+	if by == "" {
+		by = "material" // canonical: default and explicit share an entry
+	}
+	kp := keyPool.Get().(*[]byte)
+	key := append((*kp)[:0], "cohorts\x00"...)
+	key = append(key, by...)
+	e, err := s.cache.GetOrFill(key, func() (respcache.Entry, error) {
+		rows, err := fill()
+		if err != nil {
+			return respcache.Entry{}, err
+		}
+		body, err := encodeBody(rows)
+		if err != nil {
+			return respcache.Entry{}, err
+		}
+		return respcache.Entry{Body: body, ETag: respcache.BodyETag(body)}, nil
+	})
+	*kp = key
+	keyPool.Put(kp)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeCached(w, r, e)
 }
 
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	min := 2
-	if q := r.URL.Query().Get("min"); q != "" {
-		if _, err := fmt.Sscanf(q, "%d", &min); err != nil || min < 1 {
+	if q, _ := queryParam(r.URL.RawQuery, "min"); q != "" {
+		var err error
+		min, err = strconv.Atoi(q)
+		if err != nil || min < 1 {
 			s.writeErr(w, http.StatusBadRequest, "bad min parameter %q", q)
 			return
 		}
 	}
-	s.writeJSON(w, http.StatusOK, s.net.SegmentHotspots(min))
+	kp := keyPool.Get().(*[]byte)
+	key := append((*kp)[:0], "hotspots\x00"...)
+	key = strconv.AppendInt(key, int64(min), 10)
+	e, err := s.cache.GetOrFill(key, func() (respcache.Entry, error) {
+		body, err := encodeBody(s.net.SegmentHotspots(min))
+		if err != nil {
+			return respcache.Entry{}, err
+		}
+		return respcache.Entry{Body: body, ETag: respcache.BodyETag(body)}, nil
+	})
+	*kp = key
+	keyPool.Put(kp)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeCached(w, r, e)
 }
 
+// planRequest uses pointer fields for the priced parameters so "absent"
+// (use the default) and "explicitly zero" (a client bug — zero-cost
+// inspections or free failures price every plan nonsensically) are
+// distinguishable.
 type planRequest struct {
-	Model           string  `json:"model"`
-	BudgetKM        float64 `json:"budget_km"`
-	MaxPipes        int     `json:"max_pipes"`
-	InspectionPerKM float64 `json:"inspection_per_km"`
-	FailureCost     float64 `json:"failure_cost"`
+	Model           string   `json:"model"`
+	BudgetKM        float64  `json:"budget_km"`
+	MaxPipes        int      `json:"max_pipes"`
+	InspectionPerKM *float64 `json:"inspection_per_km"`
+	FailureCost     *float64 `json:"failure_cost"`
 }
 
 type planResponse struct {
@@ -444,6 +625,14 @@ type planResponse struct {
 	ExpectedNet       float64  `json:"expected_net"`
 }
 
+const (
+	defaultInspectionPerKM = 8000
+	defaultFailureCost     = 150000
+)
+
+// handlePlan prices a budget-constrained inspection plan over the
+// snapshot's prebuilt candidate slice — no per-request candidate
+// construction or calibration.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -453,11 +642,23 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if req.Model == "" {
 		req.Model = pipefail.Models()[0]
 	}
-	if req.InspectionPerKM == 0 {
-		req.InspectionPerKM = 8000
+	inspectionPerKM := float64(defaultInspectionPerKM)
+	if req.InspectionPerKM != nil {
+		if *req.InspectionPerKM == 0 {
+			s.writeErr(w, http.StatusBadRequest,
+				"inspection_per_km is explicitly 0; omit the field for the default (%d)", defaultInspectionPerKM)
+			return
+		}
+		inspectionPerKM = *req.InspectionPerKM
 	}
-	if req.FailureCost == 0 {
-		req.FailureCost = 150000
+	failureCost := float64(defaultFailureCost)
+	if req.FailureCost != nil {
+		if *req.FailureCost == 0 {
+			s.writeErr(w, http.StatusBadRequest,
+				"failure_cost is explicitly 0; omit the field for the default (%d)", defaultFailureCost)
+			return
+		}
+		failureCost = *req.FailureCost
 	}
 	tm, err := s.get(req.Model)
 	if err != nil {
@@ -468,17 +669,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusConflict, "model %q has no calibrator; cannot price a plan", req.Model)
 		return
 	}
-	cands := make([]plan.Candidate, tm.ranking.Len())
-	for i, id := range tm.ranking.PipeIDs {
-		cands[i] = plan.Candidate{
-			ID:       id,
-			FailProb: tm.calibrator.Prob(tm.ranking.Scores[i]),
-			LengthM:  tm.ranking.LengthM[i],
-		}
-	}
-	cm := plan.CostModel{InspectionPerKM: req.InspectionPerKM, FailureCost: req.FailureCost}
+	cm := plan.CostModel{InspectionPerKM: inspectionPerKM, FailureCost: failureCost}
 	b := plan.Budget{MaxLengthM: req.BudgetKM * 1000, MaxCount: req.MaxPipes}
-	p, err := plan.Greedy(cands, cm, b)
+	p, err := plan.Greedy(tm.cands, cm, b)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -490,8 +683,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		ExpectedPrevented: p.ExpectedPrevented,
 		ExpectedNet:       p.ExpectedNet,
 	}
-	for _, c := range p.Selected {
-		resp.Pipes = append(resp.Pipes, c.ID)
+	if len(p.Selected) > 0 {
+		resp.Pipes = p.IDs()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

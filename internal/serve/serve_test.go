@@ -328,7 +328,7 @@ func TestTrainFailureNotCached(t *testing.T) {
 
 	realTrain := s.trainFn
 	failures := 0
-	s.trainFn = func(name string) (*trainedModel, error) {
+	s.trainFn = func(name string) (*modelSnapshot, error) {
 		failures++
 		return nil, errors.New("injected training failure")
 	}

@@ -1,0 +1,128 @@
+package serve
+
+// Model snapshots: the immutable, fully materialized serving view built
+// once when a training run completes. Everything a read handler needs is
+// precomputed here — the ranked entry list with calibrated probabilities,
+// the plan candidate slice, the pipe-ID index and the content ETag — so
+// the request path is slicing and encoding, never recomputation.
+//
+// Invariant: a *modelSnapshot and everything reachable from it is
+// read-only after newModelSnapshot returns. Handlers may share one
+// snapshot across any number of goroutines without synchronization; the
+// only mutable state is the Server's copy-on-write map of name →
+// snapshot (see Server.publish).
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// modelSnapshot is one trained model frozen for serving.
+type modelSnapshot struct {
+	model      pipefail.Model
+	ranking    *pipefail.Ranking
+	calibrator core.Calibrator
+	fitSeconds float64
+
+	// rankIdx maps pipe ID → row in ranking, built once at train time so
+	// per-request handlers never scan PipeIDs.
+	rankIdx map[string]int
+
+	// entries is the full ranking in rank order (score descending, ties
+	// by row) with FailProb calibrated once; handleRanking serves
+	// entries[:top] directly.
+	entries []rankedPipe
+
+	// cands is the prebuilt plan.Candidate slice in ranking row order —
+	// plan.Greedy sorts internally, so handlePlan passes it as-is.
+	// Present only when the model calibrated.
+	cands []plan.Candidate
+
+	// etag is the strong HTTP validator (quoted, as sent on the wire)
+	// derived from the model name and score bytes: any change to the
+	// ranking changes the tag, and re-training the same data reproduces it.
+	etag string
+}
+
+// newModelSnapshot freezes a trained model. calibrator may be nil (plans
+// are refused for the model, rankings omit fail_prob); everything else
+// is mandatory.
+func newModelSnapshot(name string, m pipefail.Model, ranking *pipefail.Ranking, calibrator core.Calibrator, fitSeconds float64) *modelSnapshot {
+	tm := &modelSnapshot{
+		model:      m,
+		ranking:    ranking,
+		calibrator: calibrator,
+		fitSeconds: fitSeconds,
+		rankIdx:    make(map[string]int, ranking.Len()),
+		etag:       rankingETag(name, ranking.Scores),
+	}
+	for i, id := range ranking.PipeIDs {
+		tm.rankIdx[id] = i
+	}
+
+	var probs []float64
+	if calibrator != nil {
+		probs = calibrator.ProbAll(ranking.Scores, nil)
+		tm.cands = make([]plan.Candidate, ranking.Len())
+		for i, id := range ranking.PipeIDs {
+			tm.cands[i] = plan.Candidate{
+				ID:       id,
+				FailProb: probs[i],
+				LengthM:  ranking.LengthM[i],
+			}
+		}
+	}
+
+	ids := ranking.TopIDs(ranking.Len())
+	tm.entries = make([]rankedPipe, len(ids))
+	for i, id := range ids {
+		row := tm.rankIdx[id]
+		e := rankedPipe{Rank: i + 1, PipeID: id, Score: ranking.Scores[row]}
+		if probs != nil {
+			e.FailProb = probs[row]
+		}
+		tm.entries[i] = e
+	}
+	return tm
+}
+
+// topEntries returns the highest-risk prefix of the precomputed ranking,
+// clamping top to the ranking length. The returned slice aliases the
+// snapshot and must not be mutated.
+func (tm *modelSnapshot) topEntries(top int) []rankedPipe {
+	if top > len(tm.entries) {
+		top = len(tm.entries)
+	}
+	if top < 0 {
+		top = 0
+	}
+	return tm.entries[:top]
+}
+
+// rankingETag hashes the model name and every score's bit pattern into a
+// quoted strong validator. Scores determine the served ranking bytes
+// (order, probabilities and IDs all derive from them for a fixed
+// network), so equal tags imply equal representations.
+func rankingETag(name string, scores []float64) string {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var buf [8]byte
+	for _, s := range scores {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], h.Sum64())
+	const hex = "0123456789abcdef"
+	out := make([]byte, 0, 20)
+	out = append(out, '"', 'r', '-')
+	for _, b := range buf {
+		out = append(out, hex[b>>4], hex[b&0xf])
+	}
+	out = append(out, '"')
+	return string(out)
+}

@@ -1,0 +1,375 @@
+package serve
+
+// Tests for the snapshot-and-cache read path: strict parameter parsing,
+// explicit-zero plan rejection, ETag/304 handling, byte-identity with
+// the per-request implementation the snapshots replaced, the
+// zero-allocation cache-hit gate, and concurrent read-while-training
+// behavior (run under -race by `make verify`).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRankingRejectsMalformedTop(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Sscanf-style parsing accepted trailing garbage ("5x" scanned as 5);
+	// strconv.Atoi must 400 every one of these.
+	for _, bad := range []string{"5x", "0x5", "+5x", "%205", "5.0"} {
+		var e map[string]any
+		code := getJSON(t, ts.URL+"/api/models/Heuristic-Age/ranking?top="+bad, &e)
+		if code != 400 {
+			t.Errorf("top=%q: status %d, want 400", bad, code)
+		}
+	}
+	// Plain integers still parse ("+3" is excluded: '+' is an encoded
+	// space in a query string, so it reads as " 3" and is rightly bad).
+	for _, good := range []string{"3", "%2B3"} {
+		var rows []map[string]any
+		if code := getJSON(t, ts.URL+"/api/models/Heuristic-Age/ranking?top="+good, &rows); code != 200 || len(rows) != 3 {
+			t.Errorf("top=%q: status %d rows %d", good, code, len(rows))
+		}
+	}
+}
+
+func TestHotspotsRejectsMalformedMin(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, bad := range []string{"2x", "1e1", "%202", "0x2"} {
+		if code := getJSON(t, ts.URL+"/api/hotspots?min="+bad, nil); code != 400 {
+			t.Errorf("min=%q: status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestPlanExplicitZeroCostsRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, req := range []map[string]any{
+		{"model": "Logistic", "budget_km": 3, "inspection_per_km": 0},
+		{"model": "Logistic", "budget_km": 3, "failure_cost": 0},
+	} {
+		var e map[string]any
+		if code := postJSON(t, ts.URL+"/api/plan", req, &e); code != 400 {
+			t.Fatalf("explicit zero %v: status %d, want 400", req, code)
+		}
+		if !strings.Contains(e["error"].(string), "explicitly 0") {
+			t.Fatalf("error body %v", e)
+		}
+	}
+	// Omitting the fields still prices with the defaults, and explicit
+	// non-zero values are honored.
+	var resp map[string]any
+	if code := postJSON(t, ts.URL+"/api/plan",
+		map[string]any{"model": "Logistic", "budget_km": 3, "inspection_per_km": 9000, "failure_cost": 120000},
+		&resp); code != 200 {
+		t.Fatalf("explicit non-zero costs: status %d: %v", code, resp)
+	}
+}
+
+// TestRankingByteIdentityWithPerRequestPath pins the tentpole's
+// compatibility contract: the snapshot-served body is byte-identical to
+// what the old per-request implementation (TopIDs + rankIdx lookup +
+// calibrator.Prob per row) produced.
+func TestRankingByteIdentityWithPerRequestPath(t *testing.T) {
+	s, ts := newTestServer(t)
+	for _, top := range []int{1, 7, 50, 1 << 20} {
+		resp, err := http.Get(fmt.Sprintf("%s/api/models/Logistic/ranking?top=%d", ts.URL, top))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("top=%d status %d", top, resp.StatusCode)
+		}
+
+		tm, err := s.get("Logistic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := tm.ranking.TopIDs(top)
+		legacy := make([]rankedPipe, 0, len(ids))
+		for i, id := range ids {
+			rp := rankedPipe{Rank: i + 1, PipeID: id, Score: tm.ranking.Scores[tm.rankIdx[id]]}
+			if tm.calibrator != nil {
+				rp.FailProb = tm.calibrator.Prob(rp.Score)
+			}
+			legacy = append(legacy, rp)
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(legacy); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want.Bytes()) {
+			t.Fatalf("top=%d: snapshot body diverges from per-request encoding\ngot:  %.120s\nwant: %.120s",
+				top, body, want.Bytes())
+		}
+		if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(body)) {
+			t.Fatalf("Content-Length %q for %d-byte body", cl, len(body))
+		}
+	}
+}
+
+func TestRankingETagAnd304(t *testing.T) {
+	_, ts := newTestServer(t)
+	url := ts.URL + "/api/models/Heuristic-Age/ranking?top=5"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("Etag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("missing/unquoted ETag %q", etag)
+	}
+
+	// Same URL again: byte-identical replay, same validator.
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(body1, body2) || resp.Header.Get("Etag") != etag {
+		t.Fatal("replayed response differs from first encoding")
+	}
+
+	// Conditional request: 304, no body.
+	req, _ := http.NewRequest("GET", url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET status %d, want 304", resp.StatusCode)
+	}
+	if len(notBody) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(notBody))
+	}
+	if resp.Header.Get("Etag") != etag {
+		t.Fatalf("304 ETag %q, want %q", resp.Header.Get("Etag"), etag)
+	}
+
+	// A stale validator gets the full body again.
+	req.Header.Set("If-None-Match", `"r-stale"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Equal(body1, body3) {
+		t.Fatalf("stale validator: status %d", resp.StatusCode)
+	}
+
+	// Different top values carry the same snapshot validator: the ETag
+	// versions the model's ranking, per-URL.
+	resp, err = http.Get(ts.URL + "/api/models/Heuristic-Age/ranking?top=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Etag") != etag {
+		t.Fatalf("top=9 ETag %q, want snapshot tag %q", resp.Header.Get("Etag"), etag)
+	}
+}
+
+func TestCohortsAndHotspotsCached(t *testing.T) {
+	s, ts := newTestServer(t)
+	hits0 := cacheCounter("hits")
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, ts.URL+"/api/cohorts?by=age", nil); code != 200 {
+			t.Fatalf("cohorts status %d", code)
+		}
+		if code := getJSON(t, ts.URL+"/api/hotspots?min=1", nil); code != 200 {
+			t.Fatalf("hotspots status %d", code)
+		}
+	}
+	// Default and explicit material share one canonical entry.
+	if code := getJSON(t, ts.URL+"/api/cohorts", nil); code != 200 {
+		t.Fatal("default cohorts failed")
+	}
+	if code := getJSON(t, ts.URL+"/api/cohorts?by=material", nil); code != 200 {
+		t.Fatal("material cohorts failed")
+	}
+	if got := cacheCounter("hits") - hits0; got < 3 {
+		t.Fatalf("response cache hits = %d, want >= 3 (repeat cohorts, repeat hotspots, canonical material)", got)
+	}
+	keys := s.cache.Keys()
+	for _, k := range keys {
+		if strings.HasPrefix(k, "cohorts\x00") && strings.HasSuffix(k, "\x00") {
+			t.Fatalf("non-canonical empty cohort key cached: %q", keys)
+		}
+	}
+}
+
+// TestRankingCacheHitZeroAlloc is the `make verify` allocation gate for
+// the serve fast path: once a ranking response is cached, replaying it
+// (snapshot load, key build, LRU hit, header set, body write) must not
+// allocate. Run outside -race, which instruments allocations.
+func TestRankingCacheHitZeroAlloc(t *testing.T) {
+	s, ts := newTestServer(t)
+	defer ts.Close()
+	if _, err := s.get("Heuristic-Age"); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/api/models/Heuristic-Age/ranking?top=25", nil)
+	req.SetPathValue("name", "Heuristic-Age")
+	w := &nopWriter{h: make(http.Header)}
+	s.handleRanking(w, req) // warm: fill the cache, size the pools
+	allocs := testing.AllocsPerRun(500, func() {
+		s.handleRanking(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("ranking cache hit allocated %.1f times per request, want 0", allocs)
+	}
+
+	// The 304 path must be allocation-free too.
+	tm, _ := s.get("Heuristic-Age")
+	req.Header.Set("If-None-Match", tm.etag)
+	allocs = testing.AllocsPerRun(500, func() {
+		s.handleRanking(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("ranking 304 path allocated %.1f times per request, want 0", allocs)
+	}
+}
+
+func cacheCounter(name string) int64 {
+	return obs.Default().Counter("respcache.serve." + name).Value()
+}
+
+// post is a goroutine-safe POST helper (no t.Fatal): status plus body.
+func post(url, body string) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// TestConcurrentReadsDuringColdTrain hammers /ranking and /plan for a
+// warm model from many goroutines while a cold model trains and
+// publishes, asserting every read sees a complete, consistent snapshot
+// (the -race run in `make verify` additionally proves no torn reads).
+func TestConcurrentReadsDuringColdTrain(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Warm one model so readers have something to hammer.
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, nil); code != 200 {
+		t.Fatal("warmup train failed")
+	}
+	var warmBody []byte
+	{
+		resp, err := http.Get(ts.URL + "/api/models/Heuristic-Age/ranking?top=10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmBody, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, readers*2+1)
+
+	// Cold train runs concurrently with the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, body, err := post(ts.URL+"/api/models/Heuristic-Length/train", "")
+		if err != nil || code != 200 {
+			errs <- fmt.Sprintf("cold train status %d err %v: %s", code, err, body)
+		}
+	}()
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Get(ts.URL + "/api/models/Heuristic-Age/ranking?top=10")
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 || !bytes.Equal(body, warmBody) {
+					errs <- fmt.Sprintf("torn ranking read: status %d body %.80s", resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				code, body, err := post(ts.URL+"/api/plan", `{"model":"Heuristic-Age","budget_km":3}`)
+				if err != nil || code != 200 {
+					errs <- fmt.Sprintf("plan status %d err %v: %.80s", code, err, body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestFailedTrainPopulatesNothing injects training failures and asserts
+// concurrent ranking requests all fail cleanly with no model published
+// and no response-cache entry left behind.
+func TestFailedTrainPopulatesNothing(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.trainFn = func(name string) (*modelSnapshot, error) {
+		return nil, errors.New("injected cold-train failure")
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/api/models/RankBoost/ranking?top=5")
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 400 {
+				errs <- fmt.Sprintf("failed-train ranking status %d, want 400", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if _, ok := (*s.models.Load())["RankBoost"]; ok {
+		t.Fatal("failed train published a model snapshot")
+	}
+	for _, k := range s.cache.Keys() {
+		if strings.Contains(k, "RankBoost") {
+			t.Fatalf("failed train left cache entry %q", k)
+		}
+	}
+}
