@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test verify fuzz-smoke bench bench-json
+.PHONY: build test verify chaos fuzz-smoke bench bench-json
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,23 @@ test:
 # registry, the singleflight + snapshot HTTP layer, the response cache
 # and the experiment fan-out), the allocation-regression gates on the AUC
 # kernel and the serve ranking fast path (run without -race, which
-# inflates allocation counts), and a short fuzz pass over the CSV parsers.
+# inflates allocation counts), the chaos suite, and a short fuzz pass
+# over the CSV parsers.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/...
 	$(GO) test ./internal/eval -run='^TestAUCKernelZeroAlloc$$' -count=1
 	$(GO) test ./internal/serve -run='^TestRankingCacheHitZeroAlloc$$' -count=1
+	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
+
+# chaos runs the fault-injection suite under the race detector: the
+# internal/faulty harness (listener cuts, delayed clients) and the serve
+# chaos tests that combine network faults with training failures,
+# panics, hangs, shedding and a mid-storm drain.
+chaos:
+	$(GO) test -race ./internal/faulty/...
+	$(GO) test -race -run='^TestChaos' -count=1 ./internal/serve/
 
 # fuzz-smoke runs each dataset fuzzer briefly (FUZZTIME per target) —
 # enough to replay the corpus and shake out shallow regressions without

@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,6 +16,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -134,6 +137,89 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(svg), "<svg") {
 		t.Fatal("riskmap did not produce an SVG")
 	}
+}
+
+// pipeserveProc is one spawned pipeserve binary: its base URL, the
+// running cmd, and the stderr log accumulated so far (appended by a
+// background reader; read it only after Wait).
+type pipeserveProc struct {
+	cmd  *exec.Cmd
+	base string
+
+	mu  sync.Mutex
+	log bytes.Buffer
+}
+
+func (p *pipeserveProc) stderr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log.String()
+}
+
+// startPipeserve launches the binary with the given extra flags on an
+// ephemeral port, scrapes the bound address from the startup log, and
+// keeps collecting stderr in the background.
+func startPipeserve(t *testing.T, bin string, extra ...string) *pipeserveProc {
+	t.Helper()
+	args := append([]string{"-region", "A", "-seed", "5", "-scale", "0.04", "-addr", "127.0.0.1:0"}, extra...)
+	p := &pipeserveProc{cmd: exec.Command(bin, args...)}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	})
+	sc := bufio.NewScanner(stderr)
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() && time.Now().Before(deadline) {
+		line := sc.Text()
+		p.mu.Lock()
+		p.log.WriteString(line + "\n")
+		p.mu.Unlock()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			p.base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if p.base == "" {
+		t.Fatalf("pipeserve never reported its address; startup log:\n%s", p.stderr())
+	}
+	go func() {
+		for sc.Scan() {
+			p.mu.Lock()
+			p.log.WriteString(sc.Text() + "\n")
+			p.mu.Unlock()
+		}
+	}()
+	return p
+}
+
+// waitExit waits for the process to exit (bounded) and returns its exit
+// code.
+func (p *pipeserveProc) waitExit(t *testing.T, timeout time.Duration) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		t.Fatalf("wait: %v", err)
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		t.Fatalf("pipeserve did not exit within %s; stderr:\n%s", timeout, p.stderr())
+	}
+	return -1
 }
 
 // serveRequest performs one HTTP call against the spawned pipeserve
@@ -338,6 +424,134 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if snap.Counters["respcache.serve.misses"] < 1 {
 		t.Errorf("response cache misses missing: %+v", snap.Counters)
+	}
+}
+
+// TestServeGracefulShutdown sends SIGTERM while a cold DirectAUC-ES
+// training run is in flight on a larger network and asserts the full
+// resilience contract end to end: readiness flips to 503, the in-flight
+// request fails fast instead of running training to completion, drain
+// finishes promptly, and the process exits 0 (the ErrServerClosed path).
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	// Scale 0.5: a cold ES train takes long enough that the signal
+	// reliably lands mid-train. The bounded waitExit below is the proof
+	// the run was aborted rather than drained to completion.
+	p := startPipeserve(t, bins["pipeserve"], "-scale", "0.5")
+
+	if status, _ := serveRequest(t, "GET", p.base+"/readyz", ""); status != http.StatusOK {
+		t.Fatalf("readyz before shutdown: %d", status)
+	}
+
+	trainDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(p.base+"/api/models/DirectAUC-ES/train", "application/json", nil)
+		if err != nil {
+			trainDone <- -1 // connection torn during shutdown: acceptable
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		trainDone <- resp.StatusCode
+	}()
+	time.Sleep(300 * time.Millisecond) // let the POST reach the trainer
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p.waitExit(t, 30*time.Second); code != 0 {
+		t.Fatalf("graceful shutdown exit code %d, want 0; stderr:\n%s", code, p.stderr())
+	}
+	select {
+	case status := <-trainDone:
+		if status == http.StatusOK {
+			t.Fatal("in-flight training ran to completion despite SIGTERM")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight train request never resolved")
+	}
+	logTail := p.stderr()
+	for _, want := range []string{"draining", "shutdown: complete"} {
+		if !strings.Contains(logTail, want) {
+			t.Fatalf("shutdown log missing %q:\n%s", want, logTail)
+		}
+	}
+}
+
+// TestServeWarmRestart trains a persistable model under -state-dir,
+// restarts the process, and asserts the second instance serves the
+// model as already trained with a byte-identical ranking ETag — no
+// retraining on boot.
+func TestServeWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	p1 := startPipeserve(t, bins["pipeserve"], "-state-dir", stateDir)
+	status, _ := serveRequest(t, "POST", p1.base+"/api/models/DirectAUC-ES/train", "")
+	if status != http.StatusOK {
+		t.Fatalf("train: status %d", status)
+	}
+	resp, err := http.Get(p1.base + "/api/models/DirectAUC-ES/ranking?top=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag1 := resp.Header.Get("Etag")
+	if etag1 == "" {
+		t.Fatal("first instance served no ranking ETag")
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "DirectAUC-ES.model.json")); err != nil {
+		t.Fatalf("state file not persisted: %v", err)
+	}
+	if err := p1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p1.waitExit(t, 30*time.Second); code != 0 {
+		t.Fatalf("first instance exit code %d; stderr:\n%s", code, p1.stderr())
+	}
+
+	// Restart over the same state dir: the model must already be
+	// trained, with the identical ranking ETag, and the log must show a
+	// restore rather than a training run.
+	p2 := startPipeserve(t, bins["pipeserve"], "-state-dir", stateDir)
+	status, body := serveRequest(t, "GET", p2.base+"/api/models", "")
+	if status != http.StatusOK {
+		t.Fatalf("models: status %d", status)
+	}
+	var models []struct {
+		Name    string `json:"name"`
+		Trained bool   `json:"trained"`
+	}
+	if err := json.Unmarshal(body, &models); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range models {
+		if m.Name == "DirectAUC-ES" && m.Trained {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warm restart did not restore DirectAUC-ES: %s", body)
+	}
+	resp2, err := http.Get(p2.base + "/api/models/DirectAUC-ES/ranking?top=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if etag2 := resp2.Header.Get("Etag"); etag2 != etag1 {
+		t.Fatalf("warm-restart ranking ETag %q != original %q", etag2, etag1)
+	}
+	if logs := p2.stderr(); !strings.Contains(logs, "restored DirectAUC-ES") {
+		t.Fatalf("second instance log shows no restore:\n%s", logs)
 	}
 }
 

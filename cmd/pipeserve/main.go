@@ -8,7 +8,8 @@
 //
 // Endpoints:
 //
-//	GET  /healthz
+//	GET  /healthz   (liveness: 200 while the process runs)
+//	GET  /readyz    (readiness: 503 once shutdown begins)
 //	GET  /api/network
 //	GET  /api/models
 //	POST /api/models/{name}/train
@@ -20,13 +21,26 @@
 // Ranking, cohort and hotspot responses are served from an in-memory
 // encoded-response cache (size via -cache-mb) with strong ETags;
 // clients sending If-None-Match get 304 Not-Modified.
+//
+// Resilience: SIGINT/SIGTERM triggers a graceful shutdown — readiness
+// flips to 503, in-flight training is cancelled, open connections drain
+// (bounded by -drain-timeout) and the process exits 0. -max-inflight
+// sheds requests past a concurrency cap with 503 + Retry-After;
+// -request-timeout bounds each API request. With -state-dir, trained
+// linear models persist across restarts and are served warm on boot
+// (see DESIGN.md, "Failure modes & resilience").
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -34,6 +48,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code: a clean signal-initiated shutdown is
+// 0, anything else is 1. Deferred cleanup still runs on every path,
+// which a bare os.Exit in main would skip.
+func run() int {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("pipeserve: ")
 
@@ -44,9 +65,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	metrics := flag.Bool("metrics", true, "expose the GET /metrics observability endpoint")
 	cacheMB := flag.Int64("cache-mb", serve.DefaultCacheBytes>>20, "response cache budget in MiB (encoded ranking/cohort/hotspot bodies)")
+	stateDir := flag.String("state-dir", "", "persist trained linear models here for warm restarts (empty = off)")
+	maxInflight := flag.Int64("max-inflight", 0, "shed API requests past this many in flight with 503 (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline on API routes, e.g. 30s (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for open connections to finish")
 	flag.Parse()
 	if *cacheMB < 1 {
-		log.Fatalf("-cache-mb must be >= 1, got %d", *cacheMB)
+		log.Printf("-cache-mb must be >= 1, got %d", *cacheMB)
+		return 1
 	}
 
 	var network *pipefail.Network
@@ -57,16 +83,24 @@ func main() {
 		network, err = pipefail.GenerateRegion(*region, *seed, *scale)
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	log.Printf("serving region %s: %d pipes, %d failures", network.Region, network.NumPipes(), network.NumFailures())
 
 	s, err := serve.New(network, log.Default(), pipefail.WithSeed(*seed))
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	if *cacheMB<<20 != serve.DefaultCacheBytes {
 		s.SetResponseCacheBytes(*cacheMB << 20)
+	}
+	s.SetMaxInflight(*maxInflight)
+	s.SetRequestTimeout(*requestTimeout)
+	if err := s.SetStateDir(*stateDir); err != nil {
+		log.Print(err)
+		return 1
 	}
 	handler := s.Handler()
 	if !*metrics {
@@ -77,14 +111,55 @@ func main() {
 	// scripting both scrape the bound address from it.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	srv := &http.Server{
-		Handler:           handler,
+		Handler: handler,
+		// Header/body read, write and idle bounds: a stalled or
+		// malicious peer cannot pin a connection (and its goroutine)
+		// forever. WriteTimeout is generous because POST .../train
+		// responses wait on a cold training run.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	// SIGINT/SIGTERM → graceful shutdown. The signal context flips once;
+	// a second signal kills the process the default way (signal.Stop in
+	// NotifyContext's cancel restores default handling after the first).
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	log.Printf("listening on %s", ln.Addr())
-	log.Fatal(srv.Serve(ln))
+
+	select {
+	case err := <-serveErr:
+		// Serve only returns on listener failure here (Shutdown below is
+		// the ErrServerClosed path, which this select's other arm owns).
+		log.Printf("serve: %v", err)
+		return 1
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("shutdown: signal received, draining (timeout %s)", *drainTimeout)
+	s.BeginShutdown() // readiness 503, shed new work, cancel in-flight training
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: drain incomplete: %v", err)
+		code = 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+		code = 1
+	}
+	log.Printf("shutdown: complete")
+	return code
 }
 
 // withoutMetrics hides GET /metrics when the flag disables it.

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/eval"
@@ -41,6 +42,31 @@ type Model interface {
 	// Scores are only meaningful for ranking unless the model documents
 	// otherwise.
 	Scores(test *feature.Set) ([]float64, error)
+}
+
+// ContextFitter is implemented by models whose training loop supports
+// cooperative cancellation. FitContext behaves exactly like Fit when ctx
+// is never cancelled — the cancellation checks never touch the RNG stream
+// or reorder any floating-point work, so an uncancelled FitContext run is
+// bit-identical to Fit. When ctx is cancelled the fit aborts promptly (at
+// the next generation/round/epoch boundary), returns an error wrapping
+// ctx.Err(), and leaves the model unfitted.
+type ContextFitter interface {
+	FitContext(ctx context.Context, train *feature.Set) error
+}
+
+// FitModel trains m under ctx: models implementing ContextFitter get the
+// cancellable path; for the rest, ctx is checked once up front and the
+// fit then runs to completion (every baseline fits in milliseconds, so
+// boundary checks inside them buy nothing).
+func FitModel(ctx context.Context, m Model, train *feature.Set) error {
+	if cf, ok := m.(ContextFitter); ok {
+		return cf.FitContext(ctx, train)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: fit cancelled: %w", m.Name(), err)
+	}
+	return m.Fit(train)
 }
 
 // Factory constructs a fresh, unfitted model. Registries hold factories so

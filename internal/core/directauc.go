@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -114,6 +115,15 @@ type esIndividual struct {
 // Fit implements Model. The optimization is deterministic given the
 // configuration seed.
 func (d *DirectAUC) Fit(train *feature.Set) error {
+	return d.FitContext(context.Background(), train)
+}
+
+// FitContext implements ContextFitter: Fit with a cancellation check at
+// the top of every ES generation (and before the final exact-AUC pass).
+// A run cancelled at generation k consumed exactly the same RNG stream as
+// an uncancelled run up to k, so re-running uncancelled reproduces the
+// never-cancelled weights bit for bit.
+func (d *DirectAUC) FitContext(ctx context.Context, train *feature.Set) error {
 	if err := validateFitInputs(train); err != nil {
 		return fmt.Errorf("%s: %w", d.Name(), err)
 	}
@@ -137,8 +147,10 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 	var warm []float64
 	if !d.cfg.DisableWarmStart {
 		svm := NewRankSVM(RankSVMConfig{Seed: d.cfg.Seed + 7919, Epochs: 10})
-		if err := svm.Fit(train); err == nil {
+		if err := svm.FitContext(ctx, train); err == nil {
 			warm = svm.W
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("%s: cancelled during warm start: %w", d.Name(), ctx.Err())
 		}
 	}
 	parents := make([]esIndividual, d.cfg.Mu)
@@ -178,19 +190,31 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 	offspring := make([]esIndividual, 0, d.cfg.Lambda)
 	// merged is the (µ+λ) selection pool, reused every generation.
 	merged := make([]esIndividual, 0, d.cfg.Mu+d.cfg.Lambda)
+	cancelledAt := func(gen int, err error) error {
+		esGenerations.Add(int64(gen))
+		esFitnessEvals.Add(int64(gen * (d.cfg.Mu + d.cfg.Lambda)))
+		return fmt.Errorf("%s: cancelled at generation %d: %w", d.Name(), gen, err)
+	}
 	for gen := 0; gen < d.cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return cancelledAt(gen, err)
+		}
 		// Fresh negative sub-sample each generation: all candidates within
 		// a generation share the batch so their fitnesses are comparable,
 		// while resampling across generations prevents overfitting the
 		// subsample.
 		batch.resample(rng)
 
-		// Re-evaluate parents on the new batch.
-		pool.Run(len(parents), func(w, lo, hi int) {
+		// Re-evaluate parents on the new batch. RunCtx: the fitness fan-out
+		// is the generation's dominant cost, so cancellation also aborts
+		// between chunks inside a generation, not only at its top.
+		if err := pool.RunCtx(ctx, len(parents), func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				parents[i].fit = batch.aucInto(parents[i].w, scratch[w].scores, &scratch[w].auc)
 			}
-		})
+		}); err != nil {
+			return cancelledAt(gen, err)
+		}
 
 		// Mutation stays on this goroutine: every RNG draw happens in the
 		// same order as a fully serial run, for any worker count.
@@ -210,11 +234,13 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 			offspring = append(offspring, child)
 		}
 		// Only scoring fans out; each offspring owns its fitness slot.
-		pool.Run(len(offspring), func(w, lo, hi int) {
+		if err := pool.RunCtx(ctx, len(offspring), func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				offspring[i].fit = batch.aucInto(offspring[i].w, scratch[w].scores, &scratch[w].auc)
 			}
-		})
+		}); err != nil {
+			return cancelledAt(gen, err)
+		}
 
 		// (µ+λ) selection: sort the merged pool by fitness (descending)
 		// and keep the best µ as the next parents.
@@ -229,6 +255,9 @@ func (d *DirectAUC) Fit(train *feature.Set) error {
 	esFitnessEvals.Add(int64(d.cfg.Generations * (d.cfg.Mu + d.cfg.Lambda)))
 
 	// Pick the winner, optionally by exact full-set AUC.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: cancelled before final selection: %w", d.Name(), err)
+	}
 	best := parents[0]
 	if d.cfg.ExactFinal {
 		bestAUC := math.Inf(-1)

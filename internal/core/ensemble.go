@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/feature"
@@ -34,6 +35,13 @@ func (e *Ensemble) Name() string { return "Ensemble" }
 
 // Fit implements Model: it fits every member on the same training set.
 func (e *Ensemble) Fit(train *feature.Set) error {
+	return e.FitContext(context.Background(), train)
+}
+
+// FitContext implements ContextFitter: each member is fitted through
+// FitModel, so cancellable members abort mid-fit and the rest are checked
+// at member boundaries. A cancelled ensemble stays unfitted.
+func (e *Ensemble) FitContext(ctx context.Context, train *feature.Set) error {
 	if len(e.Base) == 0 {
 		return fmt.Errorf("%s: no base models", e.Name())
 	}
@@ -53,7 +61,7 @@ func (e *Ensemble) Fit(train *feature.Set) error {
 		}
 	}
 	for _, m := range e.Base {
-		if err := m.Fit(train); err != nil {
+		if err := FitModel(ctx, m, train); err != nil {
 			return fmt.Errorf("%s: member %s: %w", e.Name(), m.Name(), err)
 		}
 	}

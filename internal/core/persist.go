@@ -21,6 +21,16 @@ type SavedModel struct {
 	TrainAUC float64 `json:"train_auc,omitempty"`
 }
 
+// Persistable reports whether SaveLinear can serialize m — i.e. whether
+// the model is one of the linear rankers with an on-disk format.
+func Persistable(m Model) bool {
+	switch m.(type) {
+	case *DirectAUC, *RankSVM:
+		return true
+	}
+	return false
+}
+
 // SaveLinear serializes a fitted linear model (DirectAUC or RankSVM) as
 // JSON. featureNames must match the training builder's column order.
 func SaveLinear(w io.Writer, m Model, featureNames []string) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,6 +73,14 @@ func (m *RankBoost) Rounds() int { return len(m.stumps) }
 
 // Fit implements Model.
 func (m *RankBoost) Fit(train *feature.Set) error {
+	return m.FitContext(context.Background(), train)
+}
+
+// FitContext implements ContextFitter: Fit with a cancellation check at
+// every boosting-round boundary. RankBoost draws no randomness, so the
+// checks cannot perturb an uncancelled run; a cancelled fit leaves the
+// model unfitted (no partial stump list).
+func (m *RankBoost) FitContext(ctx context.Context, train *feature.Set) error {
 	if err := validateFitInputs(train); err != nil {
 		return fmt.Errorf("%s: %w", m.Name(), err)
 	}
@@ -121,6 +130,10 @@ func (m *RankBoost) Fit(train *feature.Set) error {
 
 	m.stumps = m.stumps[:0]
 	for round := 0; round < m.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			m.stumps = nil // cancelled fits stay unfitted
+			return fmt.Errorf("%s: cancelled at round %d: %w", m.Name(), round, err)
+		}
 		// r(h) = Σ_i vPos[i] h(x_i) − Σ_j vNeg[j] h(x_j); maximize |r|.
 		pool.Run(dim, func(_, lo, hi int) {
 			for j := lo; j < hi; j++ {

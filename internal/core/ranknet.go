@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -103,6 +104,14 @@ func (m *RankNet) score(x []float64) float64 {
 
 // Fit implements Model.
 func (m *RankNet) Fit(train *feature.Set) error {
+	return m.FitContext(context.Background(), train)
+}
+
+// FitContext implements ContextFitter: Fit with a cancellation check at
+// every epoch boundary. The checks sit outside the pair-sampling loop and
+// never touch the RNG, so uncancelled runs match Fit bit for bit; a
+// cancelled fit leaves the model unfitted.
+func (m *RankNet) FitContext(ctx context.Context, train *feature.Set) error {
 	if err := validateFitInputs(train); err != nil {
 		return fmt.Errorf("%s: %w", m.Name(), err)
 	}
@@ -128,6 +137,10 @@ func (m *RankNet) Fit(train *feature.Set) error {
 
 	t := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			m.w1, m.b1, m.w2 = nil, nil, nil // cancelled fits stay unfitted
+			return fmt.Errorf("%s: cancelled at epoch %d: %w", m.Name(), epoch, err)
+		}
 		for p := 0; p < cfg.PairsPerEpoch; p++ {
 			t++
 			xi := train.X[pos[rng.Intn(len(pos))]]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -63,6 +64,13 @@ func (m *RankSVM) Name() string { return "RankSVM" }
 
 // Fit implements Model.
 func (m *RankSVM) Fit(train *feature.Set) error {
+	return m.FitContext(context.Background(), train)
+}
+
+// FitContext implements ContextFitter: Fit with a cancellation check at
+// every epoch boundary. The checks never touch the RNG, so uncancelled
+// runs match Fit bit for bit.
+func (m *RankSVM) FitContext(ctx context.Context, train *feature.Set) error {
 	if err := validateFitInputs(train); err != nil {
 		return fmt.Errorf("%s: %w", m.Name(), err)
 	}
@@ -75,6 +83,9 @@ func (m *RankSVM) Fit(train *feature.Set) error {
 	diff := make([]float64, train.Dim())
 	t := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%s: cancelled at epoch %d: %w", m.Name(), epoch, err)
+		}
 		for k := 0; k < cfg.PairsPerEpoch; k++ {
 			t++
 			xi := train.X[pos[rng.Intn(len(pos))]]

@@ -1,0 +1,178 @@
+package faulty
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections from l and writes back whatever each
+// one sends, until the listener closes.
+func echoServer(t *testing.T, l net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPassthroughEcho(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, nil)
+	defer l.Close()
+	echoServer(t, l)
+
+	c := dial(t, l.Addr().String())
+	msg := "hello through the harness"
+	if _, err := io.WriteString(c, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("echoed %q", buf)
+	}
+	st := l.Stats()
+	if st.Accepted != 1 || st.Faulted != 0 || st.Cut != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestEveryNthPlan pins the deterministic fault assignment: with n=3,
+// exactly connections 2, 5, 8, ... (0-based) are faulted.
+func TestEveryNthPlan(t *testing.T) {
+	plan := EveryNth(3, Fault{CutAfter: 1})
+	var faulted []int
+	for i := 0; i < 9; i++ {
+		if !plan(i).isZero() {
+			faulted = append(faulted, i)
+		}
+	}
+	if len(faulted) != 3 || faulted[0] != 2 || faulted[1] != 5 || faulted[2] != 8 {
+		t.Fatalf("faulted connections %v", faulted)
+	}
+	if EveryNth(1, Fault{Delay: time.Millisecond})(0).isZero() {
+		t.Fatal("EveryNth(1) must fault every connection")
+	}
+	if !EveryNth(0, Fault{Delay: time.Millisecond})(5).isZero() {
+		t.Fatal("EveryNth(0) must never fault")
+	}
+}
+
+// TestCutTruncatesResponse sends a payload larger than the byte budget
+// and asserts the client receives exactly the budget, then an error —
+// a torn response, not a clean message.
+func TestCutTruncatesResponse(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 64
+	l := Wrap(inner, EveryNth(1, Fault{CutAfter: budget}))
+	defer l.Close()
+	echoServer(t, l)
+
+	c := dial(t, l.Addr().String())
+	payload := strings.Repeat("x", 4*budget)
+	if _, err := io.WriteString(c, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(c)
+	if err == nil && len(got) >= len(payload) {
+		t.Fatal("cut connection delivered the full payload cleanly")
+	}
+	if len(got) > budget {
+		t.Fatalf("client received %d bytes past the %d-byte budget", len(got), budget)
+	}
+	st := l.Stats()
+	if st.Cut != 1 {
+		t.Fatalf("stats %+v, want exactly one cut", st)
+	}
+}
+
+// TestDelayHoldsFirstRead wires a delay fault and checks the server's
+// first read of the connection waits at least that long.
+func TestDelayHoldsFirstRead(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 50 * time.Millisecond
+	l := Wrap(inner, EveryNth(1, Fault{Delay: delay}))
+	defer l.Close()
+
+	type result struct {
+		elapsed time.Duration
+		err     error
+	}
+	results := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			results <- result{0, err}
+			return
+		}
+		defer c.Close()
+		start := time.Now()
+		buf := make([]byte, 1)
+		_, err = c.Read(buf)
+		results <- result{time.Since(start), err}
+	}()
+
+	c := dial(t, l.Addr().String())
+	if _, err := io.WriteString(c, "x"); err != nil {
+		t.Fatal(err)
+	}
+	r := <-results
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.elapsed < delay {
+		t.Fatalf("first read returned after %v, want >= %v", r.elapsed, delay)
+	}
+}
+
+// TestCutWriteReportsClosed pins the writer-side contract: the write
+// crossing the budget returns net.ErrClosed and later writes fail too.
+func TestCutWriteReportsClosed(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	go io.Copy(io.Discard, client) // drain so Pipe writes don't block
+	c := &conn{Conn: server, fault: Fault{CutAfter: 10}}
+	if _, err := c.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := c.Write(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("budget-crossing write error %v, want net.ErrClosed", err)
+	}
+	if _, err := c.Write(make([]byte, 1)); err == nil {
+		t.Fatal("write after cut succeeded")
+	}
+}

@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -98,6 +99,31 @@ func (p Pool) Run(n int, body func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// RunCtx is Run with cooperative cancellation: each chunk checks ctx
+// before it starts, and the call returns ctx.Err() if any chunk was
+// skipped. Chunk boundaries are identical to Run's, and a nil error
+// guarantees every chunk ran to completion, so uncancelled results are
+// bit-identical to Run. On cancellation the output is partial and the
+// caller must discard it — RunCtx aborts promptly between chunks but
+// never interrupts a chunk mid-flight.
+func (p Pool) RunCtx(ctx context.Context, n int, body func(worker, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var skipped atomic.Bool
+	p.Run(n, func(worker, lo, hi int) {
+		if ctx.Err() != nil {
+			skipped.Store(true)
+			return
+		}
+		body(worker, lo, hi)
+	})
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // ForEach runs body(i) for every i in [0, n) across the pool's static
 // chunks. Use when per-item cost is uniform.
 func (p Pool) ForEach(n int, body func(i int)) {
@@ -114,24 +140,45 @@ func (p Pool) ForEach(n int, body func(i int)) {
 // depends on timing, so the determinism contract here is per-item: body
 // must write only state owned by i.
 func (p Pool) ForEachDynamic(n int, body func(i int)) {
+	p.forEachDynamic(context.Background(), n, body)
+}
+
+// ForEachDynamicCtx is ForEachDynamic with cooperative cancellation:
+// workers check ctx before claiming each index and stop claiming once it
+// is done. Returns ctx.Err() when one or more indices were skipped (the
+// caller must treat the outputs as partial), nil when every index ran.
+func (p Pool) ForEachDynamicCtx(ctx context.Context, n int, body func(i int)) error {
+	return p.forEachDynamic(ctx, n, body)
+}
+
+func (p Pool) forEachDynamic(ctx context.Context, n int, body func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	dynamicCalls.Inc()
 	dynamicItems.Add(int64(n))
+	done := ctx.Done()
 	w := p.Workers()
 	if w > n {
 		w = n
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			body(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
+	var skipped atomic.Bool
 	run := func() {
 		for {
+			if done != nil && ctx.Err() != nil {
+				skipped.Store(true)
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -149,4 +196,8 @@ func (p Pool) ForEachDynamic(n int, body func(i int)) {
 	}
 	run()
 	wg.Wait()
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"log"
 	"net/http"
@@ -41,7 +42,7 @@ func benchServer(b *testing.B) *Server {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := s.get("Heuristic-Age"); err != nil {
+	if _, err := s.get(context.Background(), "Heuristic-Age"); err != nil {
 		b.Fatal(err)
 	}
 	return s

@@ -1,0 +1,211 @@
+package serve
+
+// Chaos suite: the serve stack under simultaneous network faults
+// (internal/faulty listener cuts + delays) and training faults
+// (failures, panics and hangs injected through the trainFn seam), with
+// shedding, request deadlines and a mid-storm drain. Run under -race by
+// `make chaos` (folded into `make verify`). Client-side errors are
+// expected — the invariants are strictly server-side: no crash, no
+// deadlock, no torn snapshot state, probes keep answering, and a clean
+// drain at the end.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faulty"
+)
+
+// chaosTrainer wraps the real trainer, injecting a deterministic fault
+// by call index: every 4th call fails, every 5th panics, every 7th
+// hangs until cancelled. (Indices sharing multiples fault by the first
+// matching rule.)
+type chaosTrainer struct {
+	real  func(ctx context.Context, name string) (*modelSnapshot, error)
+	calls atomic.Int64
+}
+
+func (c *chaosTrainer) train(ctx context.Context, name string) (*modelSnapshot, error) {
+	i := c.calls.Add(1)
+	switch {
+	case i%7 == 0:
+		<-ctx.Done() // hang: only cancellation frees this trainer
+		return nil, fmt.Errorf("chaos hang: %w", ctx.Err())
+	case i%5 == 0:
+		panic(fmt.Sprintf("chaos panic on call %d", i))
+	case i%4 == 0:
+		return nil, errors.New("chaos failure")
+	}
+	return c.real(ctx, name)
+}
+
+func TestChaosServerSurvives(t *testing.T) {
+	net0, err := pipefail.GenerateRegion("A", 5, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(net0, log.New(io.Discard, "", 0), pipefail.WithESGenerations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := &chaosTrainer{real: s.train}
+	s.trainFn = ct.train
+	s.SetMaxInflight(6)
+	s.SetRequestTimeout(300 * time.Millisecond)
+
+	ts := httptest.NewUnstartedServer(s.Handler())
+	fl := faulty.Wrap(ts.Listener, func(i int) faulty.Fault {
+		switch {
+		case i%5 == 3:
+			return faulty.Fault{CutAfter: 256} // torn response mid-body
+		case i%5 == 4:
+			return faulty.Fault{Delay: 3 * time.Millisecond} // slow client
+		}
+		return faulty.Fault{}
+	})
+	ts.Listener = fl
+	ts.Start()
+	defer ts.Close()
+
+	// Cheap models only: the request deadline must never fire on an
+	// honest training run, only on injected hangs.
+	models := []string{"Heuristic-Age", "Heuristic-Length", "Logistic", "Cox"}
+	paths := []string{"/api/network", "/api/cohorts", "/api/hotspots?min=1", "/metrics"}
+
+	// Per-request client without keep-alive so connection faults land on
+	// fresh connections instead of poisoning a shared pool.
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   10 * time.Second,
+	}
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	var clientErrs, non2xx atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var resp *http.Response
+				var err error
+				switch i % 3 {
+				case 0:
+					resp, err = client.Post(ts.URL+"/api/models/"+models[(w+i)%len(models)]+"/train", "application/json", nil)
+				case 1:
+					resp, err = client.Get(ts.URL + "/api/models/" + models[(w+i)%len(models)] + "/ranking?top=10")
+				default:
+					resp, err = client.Get(ts.URL + paths[(w+i)%len(paths)])
+				}
+				if err != nil {
+					clientErrs.Add(1) // cut/reset connections are expected
+					continue
+				}
+				if _, cerr := io.Copy(io.Discard, resp.Body); cerr != nil {
+					clientErrs.Add(1) // torn body after a mid-response cut
+				}
+				resp.Body.Close()
+				if resp.StatusCode >= 300 {
+					non2xx.Add(1) // sheds, chaos failures: also expected
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := fl.Stats()
+	if st.Faulted == 0 {
+		t.Fatal("chaos run injected no connection faults; the plan is dead")
+	}
+	if ct.calls.Load() == 0 {
+		t.Fatal("chaos run never reached the trainer")
+	}
+	t.Logf("chaos: %d conns (%d faulted, %d cut), %d trainer calls, %d client errors, %d non-2xx",
+		st.Accepted, st.Faulted, st.Cut, ct.calls.Load(), clientErrs.Load(), non2xx.Load())
+
+	// Invariant: the server survived — probes answer, panics were
+	// contained, and a real model is still servable end to end.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatal("healthz dead after the storm")
+	}
+	s.trainFn = s.train // calm the trainer
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, nil); code != 200 {
+		t.Fatal("cannot train cleanly after the storm")
+	}
+
+	// Every published snapshot is fully formed (a torn publish would
+	// leave nil fields that panic the read path).
+	for name, tm := range *s.models.Load() {
+		if tm == nil || tm.ranking == nil || tm.model == nil {
+			t.Fatalf("torn snapshot published for %s", name)
+		}
+	}
+
+	// And the server still drains cleanly: readyz flips, hung training
+	// (if any is left) dies with the lifecycle context.
+	s.BeginShutdown()
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 503 {
+		t.Fatal("readyz not draining after BeginShutdown")
+	}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.pending) == 0
+	})
+}
+
+// TestChaosSingleflightUnderCancellation hammers one model with waves
+// of short-deadline requests against a hanging trainer, then asserts
+// the pending map converges to empty and a clean train still works —
+// the refcounted abandon path never leaks a job or a goroutine.
+func TestChaosSingleflightUnderCancellation(t *testing.T) {
+	s, _ := newTestServer(t)
+	var hangs atomic.Int64
+	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+		hangs.Add(1)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	const waves, waiters = 5, 6
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				defer cancel()
+				if _, err := s.get(ctx, "Heuristic-Age"); err == nil {
+					t.Error("hung training returned a snapshot")
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.pending) == 0
+	})
+	if hangs.Load() == 0 {
+		t.Fatal("hanging trainer never ran")
+	}
+
+	s.trainFn = s.train
+	if _, err := s.get(context.Background(), "Heuristic-Age"); err != nil {
+		t.Fatalf("clean train after cancellation storm: %v", err)
+	}
+}

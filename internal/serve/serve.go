@@ -7,7 +7,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -53,46 +55,90 @@ type Server struct {
 	cache *respcache.Cache
 
 	// trainFn runs one training pass; it defaults to (*Server).train and
-	// is a seam for tests that need to inject training failures.
-	trainFn func(name string) (*modelSnapshot, error)
+	// is a seam for tests that need to inject training failures, panics
+	// or hangs. It must honor ctx cancellation for prompt aborts.
+	trainFn func(ctx context.Context, name string) (*modelSnapshot, error)
 
 	metrics serveMetrics
+
+	// lifecycle is the context every training run derives from;
+	// BeginShutdown cancels it, aborting in-flight training.
+	lifecycle       context.Context
+	cancelLifecycle context.CancelFunc
+	// draining flips once at BeginShutdown: /readyz turns 503 and
+	// sheddable routes refuse new work with 503 + Retry-After while the
+	// http.Server drains connections.
+	draining atomic.Bool
+
+	// maxInflight caps concurrently served requests on sheddable routes
+	// (0 = unlimited); inflightReqs is the current count against the cap.
+	maxInflight int64
+	inflightReqs atomic.Int64
+	// requestTimeout bounds each sheddable request's context (0 = none).
+	requestTimeout time.Duration
+
+	// stateDir, when non-empty, is where trained linear models are
+	// persisted for warm restarts (see state.go).
+	stateDir string
 
 	// models is the copy-on-write name → snapshot map: readers Load once
 	// and never lock; writers clone-and-swap under mu.
 	models atomic.Pointer[map[string]*modelSnapshot]
 
-	mu      sync.Mutex // guards pending and models publication
+	mu      sync.Mutex // guards pending, job waiter counts, and models publication
 	pending map[string]*trainJob
 }
 
 // serveMetrics caches the singleflight/in-flight metric handles so the
 // request path never does a registry lookup.
 type serveMetrics struct {
-	inflight      *obs.Gauge
-	sfHits        *obs.Counter // waiters that joined an in-flight run
-	sfMisses      *obs.Counter // requests that started a training run
-	sfCached      *obs.Counter // requests served from the trained cache
-	trainFailures *obs.Counter
+	inflight       *obs.Gauge
+	sfHits         *obs.Counter // waiters that joined an in-flight run
+	sfMisses       *obs.Counter // requests that started a training run
+	sfCached       *obs.Counter // requests served from the trained cache
+	trainFailures  *obs.Counter
+	trainPanics    *obs.Counter // training panics contained into failures
+	trainCancelled *obs.Counter // training runs aborted via context
+	handlerPanics  *obs.Counter // handler panics recovered into 500s
+	shedCapacity   *obs.Counter // 503s from the in-flight cap
+	shedDraining   *obs.Counter // 503s issued while draining
+	stateSaved     *obs.Counter // models persisted to the state dir
+	stateRestored  *obs.Counter // models reloaded on warm restart
+	stateSaveErrs  *obs.Counter // failed persistence attempts
+	stateQuarantined *obs.Counter // unreadable/stale state files set aside
 }
 
 func newServeMetrics() serveMetrics {
 	reg := obs.Default()
 	return serveMetrics{
-		inflight:      reg.Gauge("serve.inflight"),
-		sfHits:        reg.Counter("serve.train.singleflight.hits"),
-		sfMisses:      reg.Counter("serve.train.singleflight.misses"),
-		sfCached:      reg.Counter("serve.train.cached_hits"),
-		trainFailures: reg.Counter("serve.train.failures"),
+		inflight:       reg.Gauge("serve.inflight"),
+		sfHits:         reg.Counter("serve.train.singleflight.hits"),
+		sfMisses:       reg.Counter("serve.train.singleflight.misses"),
+		sfCached:       reg.Counter("serve.train.cached_hits"),
+		trainFailures:  reg.Counter("serve.train.failures"),
+		trainPanics:    reg.Counter("serve.train.panics"),
+		trainCancelled: reg.Counter("serve.train.cancelled"),
+		handlerPanics:  reg.Counter("serve.panics.recovered"),
+		shedCapacity:   reg.Counter("serve.shed.capacity"),
+		shedDraining:   reg.Counter("serve.shed.draining"),
+		stateSaved:     reg.Counter("serve.state.saved"),
+		stateRestored:  reg.Counter("serve.state.restored"),
+		stateSaveErrs:  reg.Counter("serve.state.save_errors"),
+		stateQuarantined: reg.Counter("serve.state.quarantined"),
 	}
 }
 
 // trainJob is the singleflight slot for one model name: done is closed
-// when the training run finishes, after tm and err are set.
+// when the training run finishes, after tm and err are set. waiters
+// (guarded by Server.mu) counts the requests blocked on the run; when the
+// last one abandons it — client disconnect or request deadline — cancel
+// fires and the run aborts instead of burning CPU for nobody.
 type trainJob struct {
-	done chan struct{}
-	tm   *modelSnapshot
-	err  error
+	done    chan struct{}
+	tm      *modelSnapshot
+	err     error
+	cancel  context.CancelFunc
+	waiters int
 }
 
 // New builds a Server around the network. Options mirror
@@ -114,11 +160,49 @@ func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOpt
 		metrics: newServeMetrics(),
 		pending: make(map[string]*trainJob),
 	}
+	s.lifecycle, s.cancelLifecycle = context.WithCancel(context.Background())
 	empty := make(map[string]*modelSnapshot)
 	s.models.Store(&empty)
 	s.trainFn = s.train
 	return s, nil
 }
+
+// SetMaxInflight caps the number of concurrently served requests on the
+// sheddable routes (everything but /healthz and /readyz); requests past
+// the cap get 503 + Retry-After instead of queueing. n <= 0 removes the
+// cap. Call before serving traffic.
+func (s *Server) SetMaxInflight(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxInflight = n
+}
+
+// SetRequestTimeout bounds each sheddable request's context; training
+// started by a timed-out request aborts (unless other waiters remain).
+// d <= 0 disables the deadline. Call before serving traffic.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.requestTimeout = d
+}
+
+// BeginShutdown transitions the server into draining: /readyz flips to
+// 503 so load balancers stop routing, new requests on sheddable routes
+// are refused with 503 + Retry-After, and every in-flight training run is
+// cancelled via its context. In-flight requests finish their responses —
+// pair this with http.Server.Shutdown, which drains connections.
+// Idempotent.
+func (s *Server) BeginShutdown() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Printf("serve: draining: refusing new work, cancelling in-flight training")
+	}
+	s.cancelLifecycle()
+}
+
+// Draining reports whether BeginShutdown has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // SetResponseCacheBytes replaces the response cache with one capped at
 // maxBytes. Call before serving traffic (it is not synchronized with
@@ -128,20 +212,33 @@ func (s *Server) SetResponseCacheBytes(maxBytes int64) {
 }
 
 // Handler returns the routed http.Handler. Every route, including
-// GET /metrics itself, runs inside the metrics middleware.
+// GET /metrics itself, runs inside the metrics + panic-recovery
+// middleware; all but the liveness/readiness probes additionally pass the
+// load shedder and the per-request deadline (see middleware in
+// resilience.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
-	mux.HandleFunc("GET /api/network", s.instrument("network", s.handleNetwork))
-	mux.HandleFunc("GET /api/models", s.instrument("models", s.handleModels))
-	mux.HandleFunc("POST /api/models/{name}/train", s.instrument("train", s.handleTrain))
-	mux.HandleFunc("GET /api/models/{name}/ranking", s.instrument("ranking", s.handleRanking))
-	mux.HandleFunc("GET /api/pipes/{id}", s.instrument("pipe", s.handlePipe))
-	mux.HandleFunc("GET /api/cohorts", s.instrument("cohorts", s.handleCohorts))
-	mux.HandleFunc("GET /api/hotspots", s.instrument("hotspots", s.handleHotspots))
-	mux.HandleFunc("POST /api/plan", s.instrument("plan", s.handlePlan))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	// Probes bypass shedding and deadlines: a loaded or draining server
+	// must still answer its orchestrator.
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.recovered("healthz", s.handleHealth)))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.recovered("readyz", s.handleReady)))
+	mux.HandleFunc("GET /api/network", s.middleware("network", s.handleNetwork))
+	mux.HandleFunc("GET /api/models", s.middleware("models", s.handleModels))
+	mux.HandleFunc("POST /api/models/{name}/train", s.middleware("train", s.handleTrain))
+	mux.HandleFunc("GET /api/models/{name}/ranking", s.middleware("ranking", s.handleRanking))
+	mux.HandleFunc("GET /api/pipes/{id}", s.middleware("pipe", s.handlePipe))
+	mux.HandleFunc("GET /api/cohorts", s.middleware("cohorts", s.handleCohorts))
+	mux.HandleFunc("GET /api/hotspots", s.middleware("hotspots", s.handleHotspots))
+	mux.HandleFunc("POST /api/plan", s.middleware("plan", s.handlePlan))
+	mux.HandleFunc("GET /metrics", s.middleware("metrics", s.handleMetrics))
 	return mux
+}
+
+// middleware is the full request chain for sheddable routes, outermost
+// first: metrics instrumentation, panic recovery, load shedding /
+// drain refusal, per-request deadline, handler.
+func (s *Server) middleware(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrument(route, s.recovered(route, s.shed(s.deadlined(h))))
 }
 
 // instrument wraps a handler with the per-endpoint metrics: request
@@ -167,15 +264,27 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// statusWriter captures the response status for the error counter.
+// statusWriter captures the response status for the error counter and
+// whether any response bytes/headers already went out, so the panic
+// recovery middleware knows if a clean 500 is still possible.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // jsonCT is the Content-Type header value, preallocated so hot paths
@@ -348,6 +457,10 @@ func knownModel(name string) bool {
 	return false
 }
 
+// errUnknownModel distinguishes a client naming error (400) from
+// internal training failures (503) in the handlers' status mapping.
+var errUnknownModel = errors.New("unknown model")
+
 // get returns the trained model snapshot, training it on first use. The
 // fast path is one atomic load of the copy-on-write map — no lock.
 // Exactly one goroutine trains any given model; concurrent callers block
@@ -355,13 +468,19 @@ func knownModel(name string) bool {
 // layer degrades to queueing (not errors) under concurrent load. A
 // failed run is not published: its waiters all receive the error, and
 // the next request starts a fresh attempt.
-func (s *Server) get(name string) (*modelSnapshot, error) {
+//
+// Training runs on its own goroutine under a context derived from the
+// server lifecycle, so BeginShutdown aborts it. Each waiter watches its
+// own request context: a waiter whose client disconnects (or whose
+// deadline fires) abandons the job, and when the last waiter leaves the
+// run itself is cancelled — nobody is left training for an empty room.
+func (s *Server) get(ctx context.Context, name string) (*modelSnapshot, error) {
 	if tm, ok := (*s.models.Load())[name]; ok {
 		s.metrics.sfCached.Inc()
 		return tm, nil
 	}
 	if !knownModel(name) {
-		return nil, fmt.Errorf("unknown model %q", name)
+		return nil, fmt.Errorf("%w %q", errUnknownModel, name)
 	}
 	s.mu.Lock()
 	if tm, ok := (*s.models.Load())[name]; ok {
@@ -369,30 +488,68 @@ func (s *Server) get(name string) (*modelSnapshot, error) {
 		s.metrics.sfCached.Inc()
 		return tm, nil
 	}
-	if job, ok := s.pending[name]; ok {
+	job, ok := s.pending[name]
+	if ok {
+		job.waiters++
 		s.mu.Unlock()
 		s.metrics.sfHits.Inc()
-		<-job.done
+	} else {
+		tctx, cancel := context.WithCancel(s.lifecycle)
+		job = &trainJob{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		s.pending[name] = job
+		s.mu.Unlock()
+		s.metrics.sfMisses.Inc()
+		go s.runTrain(tctx, name, job)
+	}
+
+	select {
+	case <-job.done:
 		return job.tm, job.err
+	case <-ctx.Done():
+		s.abandon(job)
+		return nil, fmt.Errorf("training %q abandoned: %w", name, ctx.Err())
 	}
-	job := &trainJob{done: make(chan struct{})}
-	s.pending[name] = job
-	s.mu.Unlock()
-	s.metrics.sfMisses.Inc()
+}
 
-	job.tm, job.err = s.trainFn(name)
-	if job.err != nil {
-		s.metrics.trainFailures.Inc()
-	}
-
+// abandon drops one waiter from a training job; the last waiter out
+// cancels the run.
+func (s *Server) abandon(job *trainJob) {
 	s.mu.Lock()
-	delete(s.pending, name)
-	if job.err == nil {
-		s.publishLocked(name, job.tm)
+	job.waiters--
+	if job.waiters <= 0 {
+		job.cancel()
 	}
 	s.mu.Unlock()
-	close(job.done)
-	return job.tm, job.err
+}
+
+// runTrain executes one training run on its own goroutine, containing
+// panics into recorded failures: a panicking trainer must never take the
+// process down, it becomes an error every waiter sees while the server
+// keeps serving (the next request for the model retrains from scratch).
+func (s *Server) runTrain(ctx context.Context, name string, job *trainJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.trainPanics.Inc()
+			job.tm = nil
+			job.err = fmt.Errorf("training %q panicked: %v", name, r)
+			s.log.Printf("serve: training %s panicked (contained): %v", name, r)
+		}
+		if job.err != nil {
+			s.metrics.trainFailures.Inc()
+			if errors.Is(job.err, context.Canceled) || errors.Is(job.err, context.DeadlineExceeded) {
+				s.metrics.trainCancelled.Inc()
+			}
+		}
+		s.mu.Lock()
+		delete(s.pending, name)
+		if job.err == nil {
+			s.publishLocked(name, job.tm)
+		}
+		s.mu.Unlock()
+		job.cancel() // release the context's resources
+		close(job.done)
+	}()
+	job.tm, job.err = s.trainFn(ctx, name)
 }
 
 // publishLocked swaps in a new copy-on-write map containing tm. Callers
@@ -409,13 +566,29 @@ func (s *Server) publishLocked(name string, tm *modelSnapshot) {
 }
 
 // train runs one full training pass for name and assembles the frozen
-// snapshot (see snapshot.go). It does not touch Server maps.
-func (s *Server) train(name string) (*modelSnapshot, error) {
+// snapshot (see snapshot.go). It does not touch Server maps. Cancelling
+// ctx aborts the fit at its next generation/round/epoch boundary; a
+// successful pass is persisted to the state dir when one is configured.
+func (s *Server) train(ctx context.Context, name string) (*modelSnapshot, error) {
 	start := time.Now()
-	m, err := s.pipe.Train(name)
+	m, err := s.pipe.TrainContext(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
 	}
+	snap, err := s.snapshotModel(name, m, time.Since(start).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	s.log.Printf("serve: trained %s in %.2fs (AUC %.4f)", name, snap.fitSeconds, snap.ranking.AUC())
+	s.saveModel(name, m)
+	return snap, nil
+}
+
+// snapshotModel ranks a fitted model and freezes the serving snapshot —
+// shared by the training path and the warm-restart restore path, so a
+// restored model reproduces the exact rankings (and ETags) a fresh train
+// would have produced from the same weights.
+func (s *Server) snapshotModel(name string, m pipefail.Model, fitSeconds float64) (*modelSnapshot, error) {
 	ranking, err := s.pipe.Rank(m)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
@@ -429,16 +602,27 @@ func (s *Server) train(name string) (*modelSnapshot, error) {
 	} else {
 		calibrator = cal
 	}
-	tm := newModelSnapshot(name, m, ranking, calibrator, time.Since(start).Seconds())
-	s.log.Printf("serve: trained %s in %.2fs (AUC %.4f)", name, tm.fitSeconds, tm.ranking.AUC())
-	return tm, nil
+	return newModelSnapshot(name, m, ranking, calibrator, fitSeconds), nil
+}
+
+// writeGetErr maps a get() failure onto an HTTP status: naming an unknown
+// model is the client's fault (400); everything else — training failure,
+// contained panic, cancellation, shutdown — is the service's (503, with
+// Retry-After since a retry may well succeed).
+func (s *Server) writeGetErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, errUnknownModel) {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	s.writeErr(w, http.StatusServiceUnavailable, "%v", err)
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	tm, err := s.get(name)
+	tm, err := s.get(r.Context(), name)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeGetErr(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, modelStatus{
@@ -462,9 +646,9 @@ type rankedPipe struct {
 // already holds the snapshot's ETag) — zero heap allocations.
 func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	tm, err := s.get(name)
+	tm, err := s.get(r.Context(), name)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeGetErr(w, err)
 		return
 	}
 	top := 50
@@ -660,9 +844,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		failureCost = *req.FailureCost
 	}
-	tm, err := s.get(req.Model)
+	tm, err := s.get(r.Context(), req.Model)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeGetErr(w, err)
 		return
 	}
 	if tm.calibrator == nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -328,14 +329,14 @@ func TestTrainFailureNotCached(t *testing.T) {
 
 	realTrain := s.trainFn
 	failures := 0
-	s.trainFn = func(name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
 		failures++
 		return nil, errors.New("injected training failure")
 	}
 
 	var e map[string]any
-	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, &e); code != 400 {
-		t.Fatalf("failed train status %d, want 400", code)
+	if code := postJSON(t, ts.URL+"/api/models/Heuristic-Age/train", nil, &e); code != 503 {
+		t.Fatalf("failed train status %d, want 503 (internal failures are the service's fault)", code)
 	}
 	if !strings.Contains(e["error"].(string), "injected") {
 		t.Fatalf("error body %v", e)

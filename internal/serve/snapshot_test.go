@@ -8,6 +8,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -92,7 +93,7 @@ func TestRankingByteIdentityWithPerRequestPath(t *testing.T) {
 			t.Fatalf("top=%d status %d", top, resp.StatusCode)
 		}
 
-		tm, err := s.get("Logistic")
+		tm, err := s.get(context.Background(), "Logistic")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func TestCohortsAndHotspotsCached(t *testing.T) {
 func TestRankingCacheHitZeroAlloc(t *testing.T) {
 	s, ts := newTestServer(t)
 	defer ts.Close()
-	if _, err := s.get("Heuristic-Age"); err != nil {
+	if _, err := s.get(context.Background(), "Heuristic-Age"); err != nil {
 		t.Fatal(err)
 	}
 	req := httptest.NewRequest("GET", "/api/models/Heuristic-Age/ranking?top=25", nil)
@@ -238,7 +239,7 @@ func TestRankingCacheHitZeroAlloc(t *testing.T) {
 	}
 
 	// The 304 path must be allocation-free too.
-	tm, _ := s.get("Heuristic-Age")
+	tm, _ := s.get(context.Background(), "Heuristic-Age")
 	req.Header.Set("If-None-Match", tm.etag)
 	allocs = testing.AllocsPerRun(500, func() {
 		s.handleRanking(w, req)
@@ -338,7 +339,7 @@ func TestConcurrentReadsDuringColdTrain(t *testing.T) {
 // and no response-cache entry left behind.
 func TestFailedTrainPopulatesNothing(t *testing.T) {
 	s, ts := newTestServer(t)
-	s.trainFn = func(name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
 		return nil, errors.New("injected cold-train failure")
 	}
 	const readers = 8
@@ -354,8 +355,8 @@ func TestFailedTrainPopulatesNothing(t *testing.T) {
 				return
 			}
 			resp.Body.Close()
-			if resp.StatusCode != 400 {
-				errs <- fmt.Sprintf("failed-train ranking status %d, want 400", resp.StatusCode)
+			if resp.StatusCode != 503 {
+				errs <- fmt.Sprintf("failed-train ranking status %d, want 503", resp.StatusCode)
 			}
 		}()
 	}

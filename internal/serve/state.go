@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// This file is the warm-restart persistence layer: trained linear models
+// (DirectAUC-ES, RankSVM — the only rankers with an on-disk format, see
+// core.Persistable) are written to the state dir after every successful
+// training run and reloaded on boot, so a restarted server answers
+// ranking requests immediately with byte-identical responses (same
+// scores, same ETags) instead of retraining from scratch.
+//
+// Layout: one <model-name>.model.json per model, written atomically
+// (temp file + rename in the same directory). Files that fail to load —
+// truncated writes, hand edits, a network/feature-schema change since
+// they were saved — are quarantined by renaming to *.corrupt and the
+// boot continues; state is an optimization, never a correctness
+// dependency, so no state-dir problem is ever fatal.
+
+const (
+	stateSuffix      = ".model.json"
+	quarantineSuffix = ".corrupt"
+)
+
+// statePath returns the on-disk path for one model's saved weights.
+func (s *Server) statePath(name string) string {
+	return filepath.Join(s.stateDir, name+stateSuffix)
+}
+
+// SetStateDir enables warm-restart persistence rooted at dir (created if
+// absent) and immediately restores any previously saved models into the
+// serving snapshot map. Call before serving traffic. Restore problems
+// quarantine the offending file and keep going; only an unusable
+// directory is reported as an error.
+func (s *Server) SetStateDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: state dir: %w", err)
+	}
+	s.stateDir = dir
+	s.restoreState()
+	return nil
+}
+
+// saveModel persists a freshly trained model when a state dir is
+// configured and the model has an on-disk format. Persistence failures
+// are metered and logged but never surfaced to the request that trained
+// the model — the snapshot is already published and serving.
+func (s *Server) saveModel(name string, m pipefail.Model) {
+	if s.stateDir == "" || !core.Persistable(m) {
+		return
+	}
+	if err := s.writeModelFile(name, m); err != nil {
+		s.metrics.stateSaveErrs.Inc()
+		s.log.Printf("serve: persist %s: %v", name, err)
+		return
+	}
+	s.metrics.stateSaved.Inc()
+	s.log.Printf("serve: persisted %s to %s", name, s.statePath(name))
+}
+
+// writeModelFile writes the model atomically: encode into a temp file in
+// the state dir, fsync, then rename over the final path. A crash at any
+// point leaves either the old complete file or none — never a torn one.
+func (s *Server) writeModelFile(name string, m pipefail.Model) error {
+	tmp, err := os.CreateTemp(s.stateDir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := core.SaveLinear(tmp, m, s.pipe.FeatureNames()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.statePath(name))
+}
+
+// restoreState loads every *.model.json in the state dir into the
+// serving snapshot map. Each restored model is re-ranked against the
+// pipeline's held-out set — scoring is deterministic, so the rebuilt
+// snapshot carries the same scores and ETag the original training run
+// produced — and published exactly as a fresh training run would be.
+func (s *Server) restoreState() {
+	entries, err := os.ReadDir(s.stateDir)
+	if err != nil {
+		s.log.Printf("serve: read state dir: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), stateSuffix) {
+			continue
+		}
+		path := filepath.Join(s.stateDir, e.Name())
+		name := strings.TrimSuffix(e.Name(), stateSuffix)
+		if err := s.restoreModelFile(path, name); err != nil {
+			s.quarantine(path, err)
+		}
+	}
+}
+
+// restoreModelFile loads one saved model, validates it against this
+// server's network/feature schema, and publishes its snapshot. Any
+// mismatch is an error (the caller quarantines): weights trained against
+// a different feature layout would score garbage silently.
+func (s *Server) restoreModelFile(path, name string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	m, sm, err := core.LoadLinear(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if sm.Kind != name {
+		return fmt.Errorf("file %s holds model kind %q", filepath.Base(path), sm.Kind)
+	}
+	if !knownModel(name) {
+		return fmt.Errorf("unknown model kind %q", name)
+	}
+	want := s.pipe.FeatureNames()
+	if len(sm.FeatureNames) != len(want) {
+		return fmt.Errorf("saved with %d features, pipeline has %d", len(sm.FeatureNames), len(want))
+	}
+	for i := range want {
+		if sm.FeatureNames[i] != want[i] {
+			return fmt.Errorf("feature %d is %q, pipeline has %q", i, sm.FeatureNames[i], want[i])
+		}
+	}
+	snap, err := s.snapshotModel(name, m, 0)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.publishLocked(name, snap)
+	s.mu.Unlock()
+	s.metrics.stateRestored.Inc()
+	s.log.Printf("serve: restored %s from %s (AUC %.4f)", name, path, snap.ranking.AUC())
+	return nil
+}
+
+// quarantine renames an unusable state file to *.corrupt so the next
+// boot does not trip over it again, and the operator can inspect it.
+func (s *Server) quarantine(path string, cause error) {
+	s.metrics.stateQuarantined.Inc()
+	dest := path + quarantineSuffix
+	if err := os.Rename(path, dest); err != nil {
+		s.log.Printf("serve: quarantine %s (cause: %v): %v", path, cause, err)
+		return
+	}
+	s.log.Printf("serve: quarantined %s -> %s: %v", path, dest, cause)
+}

@@ -19,6 +19,7 @@
 package pipefail
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -174,12 +175,23 @@ func (p *Pipeline) FeatureNames() []string { return p.builder.Names() }
 // and returns it. Fit wall-clock is recorded into the per-model
 // `core.fit_seconds.<model>` histogram (see DESIGN.md, Observability).
 func (p *Pipeline) Train(modelName string) (Model, error) {
+	return p.TrainContext(context.Background(), modelName)
+}
+
+// TrainContext is Train with cooperative cancellation: models that
+// implement core.ContextFitter (the ES, RankBoost, RankNet, RankSVM and
+// the Ensemble) abort promptly at their next generation/round/epoch
+// boundary when ctx is cancelled; the millisecond-scale baselines are
+// checked once before fitting. An uncancelled TrainContext run is
+// bit-identical to Train. Cancelled fits record nothing into the
+// fit-duration histogram.
+func (p *Pipeline) TrainContext(ctx context.Context, modelName string) (Model, error) {
 	m, err := p.reg.New(modelName)
 	if err != nil {
 		return nil, err
 	}
 	done := obs.Span("core.fit_seconds." + modelName)
-	if err := m.Fit(p.train); err != nil {
+	if err := core.FitModel(ctx, m, p.train); err != nil {
 		return nil, fmt.Errorf("pipefail: %w", err)
 	}
 	done()
