@@ -13,14 +13,14 @@ test:
 # concurrency-bearing packages (the parallel training engine, the metrics
 # registry, the singleflight + snapshot HTTP layer, the response cache
 # and the experiment fan-out), the allocation-regression gates on the AUC
-# kernel and the serve ranking fast path (run without -race, which
+# kernel and the serve ranking/plan fast paths (run without -race, which
 # inflates allocation counts), the chaos suite, and a short fuzz pass
 # over the CSV parsers.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/...
 	$(GO) test ./internal/eval -run='^TestAUCKernelZeroAlloc$$' -count=1
-	$(GO) test ./internal/serve -run='^TestRankingCacheHitZeroAlloc$$' -count=1
+	$(GO) test ./internal/serve -run='^(TestRankingCacheHitZeroAlloc|TestPlanCacheHitZeroAlloc|TestParsePlanFastZeroAlloc)$$' -count=1
 	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
 

@@ -68,6 +68,17 @@ type Budget struct {
 // ErrNoBudget is returned when every budget dimension is unconstrained.
 var ErrNoBudget = errors.New("plan: budget must constrain at least one dimension")
 
+// candProbErr and candLenErr are the candidate-validation errors shared
+// by Greedy and BuildPrefix, so both paths reject bad input with
+// identical messages.
+func candProbErr(c Candidate) error {
+	return fmt.Errorf("plan: candidate %q probability %v out of [0,1]", c.ID, c.FailProb)
+}
+
+func candLenErr(c Candidate) error {
+	return fmt.Errorf("plan: candidate %q non-positive length %v", c.ID, c.LengthM)
+}
+
 // Plan is a selected inspection set with its expected economics.
 type Plan struct {
 	Selected []Candidate
@@ -96,10 +107,10 @@ func Greedy(cands []Candidate, cm CostModel, b Budget) (*Plan, error) {
 	}
 	for _, c := range cands {
 		if c.FailProb < 0 || c.FailProb > 1 {
-			return nil, fmt.Errorf("plan: candidate %q probability %v out of [0,1]", c.ID, c.FailProb)
+			return nil, candProbErr(c)
 		}
 		if c.LengthM <= 0 {
-			return nil, fmt.Errorf("plan: candidate %q non-positive length %v", c.ID, c.LengthM)
+			return nil, candLenErr(c)
 		}
 	}
 	prev := cm.preventionRate()

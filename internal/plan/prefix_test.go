@@ -1,0 +1,209 @@
+package plan
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestPrefixMatchesGreedyProperty is the exact-equivalence contract:
+// across randomized candidate sets, cost models and budgets — including
+// the skip-tail cases where a too-long pipe is passed over but a later
+// smaller one fits, and every combination of the three budget
+// dimensions — Prefix.Plan must return a Plan that is byte-identical
+// (JSON) and value-identical (DeepEqual, so float bits and nil-ness
+// match) to what Greedy builds from the same inputs.
+func TestPrefixMatchesGreedyProperty(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		rng := stats.NewRNG(seed)
+		n := rng.Intn(60) // 0 included: empty candidate sets must agree too
+		cands := make([]Candidate, n)
+		for i := range cands {
+			length := 10 + rng.Float64()*300
+			if rng.Float64() < 0.25 {
+				length = 500 + rng.Float64()*5000 // long pipes force skips
+			}
+			cands[i] = Candidate{
+				ID:       fmt.Sprintf("p%02d", i),
+				FailProb: rng.Float64(),
+				LengthM:  length,
+			}
+		}
+		cm := CostModel{
+			InspectionPerKM: rng.Float64() * 20000,
+			FailureCost:     1 + rng.Float64()*300000,
+		}
+		if rng.Float64() < 0.2 {
+			cm.InspectionPerKM = 0 // zero-cost inspections: cumCost stays flat
+		}
+		if rng.Float64() < 0.3 {
+			cm.PreventionRate = rng.Float64()
+		}
+		px, err := BuildPrefix(cands, cm)
+		if err != nil {
+			t.Fatalf("seed %d: BuildPrefix: %v", seed, err)
+		}
+
+		for trial := 0; trial < 12; trial++ {
+			var b Budget
+			if rng.Float64() < 0.7 {
+				b.MaxLengthM = rng.Float64() * 4000 // often smaller than one long pipe
+			}
+			if rng.Float64() < 0.5 {
+				b.MaxCount = rng.Intn(25)
+			}
+			if rng.Float64() < 0.5 {
+				b.MaxSpend = rng.Float64() * 50000
+			}
+
+			want, wantErr := Greedy(cands, cm, b)
+			got, gotErr := px.Plan(b)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d trial %d: error mismatch: greedy=%v prefix=%v", seed, trial, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("seed %d trial %d: error text: greedy=%q prefix=%q", seed, trial, wantErr, gotErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d trial %d (budget %+v): plans diverge\ngreedy: %+v\nprefix: %+v", seed, trial, b, want, got)
+			}
+			wj, _ := json.Marshal(want)
+			gj, _ := json.Marshal(got)
+			if string(wj) != string(gj) {
+				t.Fatalf("seed %d trial %d: JSON bodies diverge\ngreedy: %s\nprefix: %s", seed, trial, wj, gj)
+			}
+		}
+	}
+}
+
+// TestPrefixSkipTail pins the tail semantics on a hand-built case: the
+// highest-density pipe busts the length budget, the scan continues, and
+// later smaller pipes are still taken — exactly Greedy's `continue`.
+func TestPrefixSkipTail(t *testing.T) {
+	cands := []Candidate{
+		{ID: "long", FailProb: 0.95, LengthM: 300}, // highest density, busts the budget
+		{ID: "mid", FailProb: 0.3, LengthM: 150},
+		{ID: "short", FailProb: 0.1, LengthM: 40},
+	}
+	px, err := BuildPrefix(cands, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := px.Plan(Budget{MaxLengthM: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Greedy(cands, cm, Budget{MaxLengthM: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("skip-tail plan %+v, want %+v", p, want)
+	}
+	if len(p.Selected) != 2 || p.Selected[0].ID != "short" || p.Selected[1].ID != "mid" {
+		t.Fatalf("selected %+v, want [short mid]", p.Selected)
+	}
+}
+
+func TestPrefixErrorsMatchGreedy(t *testing.T) {
+	good := []Candidate{{ID: "a", FailProb: 0.5, LengthM: 100}}
+	px, err := BuildPrefix(good, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := px.Plan(Budget{}); !errors.Is(err, ErrNoBudget) {
+		t.Fatalf("want ErrNoBudget, got %v", err)
+	}
+	if px.CostModel() != cm {
+		t.Fatalf("CostModel() = %+v", px.CostModel())
+	}
+	if px.Len() != 1 {
+		t.Fatalf("Len() = %d", px.Len())
+	}
+
+	// Build-time validation mirrors Greedy's per-call validation.
+	for _, tc := range []struct {
+		cands []Candidate
+		cm    CostModel
+	}{
+		{[]Candidate{{ID: "x", FailProb: 2, LengthM: 1}}, cm},
+		{[]Candidate{{ID: "x", FailProb: 0.5, LengthM: 0}}, cm},
+		{good, CostModel{InspectionPerKM: -1, FailureCost: 150000}},
+		{good, CostModel{InspectionPerKM: 8000, FailureCost: 0}},
+	} {
+		_, gerr := Greedy(tc.cands, tc.cm, Budget{MaxCount: 1})
+		_, perr := BuildPrefix(tc.cands, tc.cm)
+		if gerr == nil || perr == nil || gerr.Error() != perr.Error() {
+			t.Fatalf("validation mismatch: greedy=%v prefix=%v", gerr, perr)
+		}
+	}
+}
+
+// TestPrefixDoesNotRetainInput: mutating the caller's slice after
+// BuildPrefix must not change later plans.
+func TestPrefixDoesNotRetainInput(t *testing.T) {
+	cands := []Candidate{
+		{ID: "a", FailProb: 0.9, LengthM: 100},
+		{ID: "b", FailProb: 0.8, LengthM: 100},
+	}
+	px, err := BuildPrefix(cands, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands[0] = Candidate{ID: "zz", FailProb: 0, LengthM: 1}
+	p, err := px.Plan(Budget{MaxCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selected) != 2 || p.Selected[0].ID != "a" {
+		t.Fatalf("prefix aliased caller slice: %+v", p.Selected)
+	}
+}
+
+func BenchmarkGreedyPlan(b *testing.B) {
+	cands := benchCands(20000)
+	bud := Budget{MaxLengthM: 50000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(cands, cm, bud); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefixPlan(b *testing.B) {
+	cands := benchCands(20000)
+	px, err := BuildPrefix(cands, cm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bud := Budget{MaxLengthM: 50000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := px.Plan(bud); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCands(n int) []Candidate {
+	rng := stats.NewRNG(7)
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = Candidate{
+			ID:       fmt.Sprintf("p%05d", i),
+			FailProb: rng.Float64(),
+			LengthM:  10 + rng.Float64()*2000,
+		}
+	}
+	return cands
+}

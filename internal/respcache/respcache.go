@@ -1,7 +1,11 @@
 // Package respcache is a size-bounded LRU cache of fully encoded HTTP
 // response bodies, built for the serve read path: rankings, cohort
-// tables and hotspot lists are immutable once computed, so the JSON
-// bytes can be encoded once and replayed for every later request.
+// tables, hotspot lists and inspection plans are immutable once
+// computed, so the JSON bytes can be encoded once and replayed for
+// every later request. GET responses key on canonicalized query
+// parameters; POST plan responses key on the decoded request fields
+// (model, budget dimensions, cost parameters) rendered canonically via
+// AppendKeyFloat, so textual aliases of one request share an entry.
 //
 // Three properties drive the design:
 //
@@ -79,6 +83,17 @@ func BodyETag(body []byte) string {
 	h := fnv.New64a()
 	h.Write(body)
 	return `"b-` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}
+
+// AppendKeyFloat appends the canonical shortest decimal rendering of f
+// to a cache key, folding negative zero into zero — the keying helper
+// for POST-body parameters, where `5`, `5.0` and `5e0` in a request
+// body all decode to the same float64 and must share one cache entry.
+func AppendKeyFloat(key []byte, f float64) []byte {
+	if f == 0 {
+		f = 0 // -0 and +0 compare equal; render both as "0"
+	}
+	return strconv.AppendFloat(key, f, 'g', -1, 64)
 }
 
 // call is the singleflight slot for one in-flight fill.
@@ -174,6 +189,19 @@ func (c *Cache) GetOrFill(key []byte, fill func() (Entry, error)) (Entry, error)
 	c.mu.Unlock()
 	close(cl.done)
 	return e, err
+}
+
+// Add inserts a prepared entry under key, evicting from the LRU tail as
+// needed. It is the insertion half of a Get/Add pair for handlers that
+// must classify their fill errors into distinct HTTP statuses before
+// caching (the POST /plan path): compute the response, then Add the
+// successful encoding. An existing entry for the key is kept (both
+// encode the same immutable content). Safe for concurrent use.
+func (c *Cache) Add(key []byte, e Entry) {
+	e.prepare()
+	c.mu.Lock()
+	c.insertLocked(string(key), e)
+	c.mu.Unlock()
 }
 
 // Get returns the cached entry without filling. Like GetOrFill, the hit

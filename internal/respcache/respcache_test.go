@@ -3,6 +3,7 @@ package respcache
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -185,5 +186,65 @@ func TestBodyETagDeterministic(t *testing.T) {
 	}
 	if a[0] != '"' || a[len(a)-1] != '"' {
 		t.Fatalf("ETag %q not quoted", a)
+	}
+}
+
+// TestAddInsertsPreparedEntry pins the Get/Add pair the POST /plan path
+// uses: Add prepares headers, inserts under the byte budget, and keeps
+// an existing entry on a racing double-insert.
+func TestAddInsertsPreparedEntry(t *testing.T) {
+	c, reg := newTestCache(t, 1<<20)
+	if _, ok := c.Get([]byte("p1")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add([]byte("p1"), Entry{Body: []byte(`{"plan":1}`), ETag: `"e1"`})
+	e, ok := c.Get([]byte("p1"))
+	if !ok || string(e.Body) != `{"plan":1}` {
+		t.Fatalf("entry %+v ok=%v", e, ok)
+	}
+	h := make(http.Header)
+	e.SetHeaders(h)
+	if h.Get("Etag") != `"e1"` || h.Get("Content-Length") != strconv.Itoa(len(e.Body)) {
+		t.Fatalf("prepared headers %v", h)
+	}
+	// Double-insert keeps the first entry.
+	c.Add([]byte("p1"), Entry{Body: []byte(`{"plan":2}`), ETag: `"e2"`})
+	if e, _ := c.Get([]byte("p1")); string(e.Body) != `{"plan":1}` {
+		t.Fatalf("double Add replaced entry: %s", e.Body)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len=%d", c.Len())
+	}
+	// Oversized bodies are refused, like GetOrFill's.
+	tiny, _ := newTestCache(t, 4)
+	tiny.Add([]byte("big"), Entry{Body: []byte("too large to hold")})
+	if tiny.Len() != 0 {
+		t.Fatal("oversized Add inserted")
+	}
+	_, _, evictions := counters(reg, t.Name())
+	if evictions != 0 {
+		t.Fatalf("unexpected evictions %d", evictions)
+	}
+}
+
+func TestAppendKeyFloatCanonical(t *testing.T) {
+	render := func(f float64) string { return string(AppendKeyFloat(nil, f)) }
+	if render(5) != render(5.0) {
+		t.Fatal("5 and 5.0 render differently")
+	}
+	if got := render(math.Copysign(0, -1)); got != "0" {
+		t.Fatalf("-0 rendered %q, want \"0\"", got)
+	}
+	// Distinct values must render distinctly (shortest repr is injective).
+	if render(0.1) == render(0.1+math.Nextafter(0, 1)*1e300) && 0.1 != 0.1+math.Nextafter(0, 1)*1e300 {
+		t.Fatal("distinct floats share a rendering")
+	}
+	if got := render(12.5); got != "12.5" {
+		t.Fatalf("12.5 rendered %q", got)
+	}
+	// Appends in place.
+	key := AppendKeyFloat([]byte("k\x00"), 3)
+	if string(key) != "k\x003" {
+		t.Fatalf("append result %q", key)
 	}
 }

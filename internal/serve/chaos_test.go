@@ -17,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -100,11 +101,14 @@ func TestChaosServerSurvives(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				var resp *http.Response
 				var err error
-				switch i % 3 {
+				switch i % 4 {
 				case 0:
 					resp, err = client.Post(ts.URL+"/api/models/"+models[(w+i)%len(models)]+"/train", "application/json", nil)
 				case 1:
 					resp, err = client.Get(ts.URL + "/api/models/" + models[(w+i)%len(models)] + "/ranking?top=10")
+				case 2:
+					resp, err = client.Post(ts.URL+"/api/plan", "application/json",
+						strings.NewReader(`{"model":"`+models[(w+i)%len(models)]+`","budget_km":3,"max_pipes":20}`))
 				default:
 					resp, err = client.Get(ts.URL + paths[(w+i)%len(paths)])
 				}

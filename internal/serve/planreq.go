@@ -1,0 +1,323 @@
+package serve
+
+// Zero-allocation decoding of the POST /api/v1 plan request body. The
+// body is a tiny flat JSON object with a fixed key set, and the cached
+// plan path must not allocate, so a hand-rolled scanner handles the
+// common shape (simple strings, plain numbers, unknown scalar keys)
+// without touching the heap. Anything it is not absolutely sure about —
+// escapes, non-ASCII strings, nested values, exotic numbers, malformed
+// input — falls back to encoding/json over the same bytes, so the
+// accepted language and every error message are exactly the stdlib
+// decoder's. The fast path's accept-set is a strict subset of the
+// fallback's: it never admits a body encoding/json would reject, and it
+// decodes to the same values.
+
+import "strconv"
+
+// planFields is the decoded plan request: value fields plus presence
+// flags instead of pointers, so the fast path fills it without
+// allocating. model aliases the request body buffer and is only valid
+// while that buffer is.
+type planFields struct {
+	model    []byte
+	budgetKM float64
+	maxPipes int
+
+	inspPerKM float64
+	failCost  float64
+	maxSpend  float64
+	hasInsp   bool
+	hasFail   bool
+	hasSpend  bool
+}
+
+// parsePlanFast decodes data into pf. It returns false when the body is
+// outside its strict subset (including any malformed input), in which
+// case the caller must re-decode with encoding/json — both for bodies
+// the stdlib would accept and for its exact error text on ones it
+// would not.
+func parsePlanFast(data []byte, pf *planFields) bool {
+	i := skipJSONSpace(data, 0)
+	if i >= len(data) || data[i] != '{' {
+		return false
+	}
+	i = skipJSONSpace(data, i+1)
+	if i < len(data) && data[i] == '}' {
+		return true // empty object; trailing bytes ignored like json.Decoder
+	}
+	for {
+		key, next, ok := scanJSONString(data, i)
+		if !ok {
+			return false
+		}
+		i = skipJSONSpace(data, next)
+		if i >= len(data) || data[i] != ':' {
+			return false
+		}
+		i = skipJSONSpace(data, i+1)
+		if i >= len(data) {
+			return false
+		}
+		switch data[i] {
+		case '"':
+			val, next, ok := scanJSONString(data, i)
+			if !ok {
+				return false
+			}
+			i = next
+			// A string is only valid for "model"; a string in a numeric
+			// field must fail with the stdlib's error text.
+			switch string(key) {
+			case "model":
+				pf.model = val
+			case "budget_km", "max_pipes", "inspection_per_km", "failure_cost", "max_spend":
+				return false
+			}
+		case '-', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9':
+			tok, next, ok := scanJSONNumber(data, i)
+			if !ok {
+				return false
+			}
+			i = next
+			switch string(key) {
+			case "model":
+				return false // number into a string field: stdlib error
+			case "budget_km":
+				f, ok := parseJSONFloat(tok)
+				if !ok {
+					return false
+				}
+				pf.budgetKM = f
+			case "max_pipes":
+				n, ok := parseJSONInt(tok)
+				if !ok {
+					return false
+				}
+				pf.maxPipes = n
+			case "inspection_per_km":
+				f, ok := parseJSONFloat(tok)
+				if !ok {
+					return false
+				}
+				pf.inspPerKM, pf.hasInsp = f, true
+			case "failure_cost":
+				f, ok := parseJSONFloat(tok)
+				if !ok {
+					return false
+				}
+				pf.failCost, pf.hasFail = f, true
+			case "max_spend":
+				f, ok := parseJSONFloat(tok)
+				if !ok {
+					return false
+				}
+				pf.maxSpend, pf.hasSpend = f, true
+			}
+		default:
+			// true/false/null/object/array — even under unknown keys the
+			// stdlib has opinions (and for known keys, type errors or
+			// null no-ops); let it decide.
+			return false
+		}
+		i = skipJSONSpace(data, i)
+		if i >= len(data) {
+			return false
+		}
+		switch data[i] {
+		case ',':
+			i = skipJSONSpace(data, i+1)
+		case '}':
+			return true // trailing bytes ignored, matching json.Decoder
+		default:
+			return false
+		}
+	}
+}
+
+func skipJSONSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// scanJSONString scans a double-quoted string starting at b[i],
+// returning the unescaped content. Escapes, control bytes and non-ASCII
+// are out of the subset (encoding/json replaces invalid UTF-8, which a
+// byte alias cannot reproduce).
+func scanJSONString(b []byte, i int) (val []byte, next int, ok bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	j := i + 1
+	for j < len(b) {
+		c := b[j]
+		if c == '"' {
+			return b[i+1 : j], j + 1, true
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			return nil, 0, false
+		}
+		j++
+	}
+	return nil, 0, false
+}
+
+// scanJSONNumber scans a number token under the strict JSON grammar
+// (no leading zeros, no bare '.', exponent needs digits).
+func scanJSONNumber(b []byte, i int) (tok []byte, next int, ok bool) {
+	start := i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return nil, 0, false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return nil, 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return nil, 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return b[start:i], i, true
+}
+
+// parseJSONInt parses an integer token; fractions, exponents and
+// overflow are outside the subset (the stdlib rejects them for int
+// fields with its own message).
+func parseJSONInt(tok []byte) (int, bool) {
+	i, neg := 0, false
+	if i < len(tok) && tok[i] == '-' {
+		neg, i = true, 1
+	}
+	var n int64
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c < '0' || c > '9' {
+			return 0, false // '.' or exponent: not an int literal
+		}
+		n = n*10 + int64(c-'0')
+		if n > 1<<53 {
+			return 0, false // defer giant values to the stdlib
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return int(n), true
+}
+
+// parseJSONFloat converts a JSON number token exactly as
+// strconv.ParseFloat would, allocation-free on the classic exact fast
+// path: a mantissa of ≤ 15 digits and a decimal exponent within ±22
+// are both exactly representable as float64s, so one multiply or
+// divide is correctly rounded (Gay 1990; the same fast path strconv
+// itself uses). Everything else takes one ParseFloat string allocation
+// — off the zero-alloc path, but bit-identical.
+func parseJSONFloat(tok []byte) (float64, bool) {
+	i, neg := 0, false
+	if i < len(tok) && tok[i] == '-' {
+		neg, i = true, 1
+	}
+	var mant uint64
+	digits := 0
+	decExp := 0
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c >= '0' && c <= '9' {
+			if digits >= 16 {
+				return parseFloatSlow(tok)
+			}
+			if mant > 0 || c != '0' {
+				mant = mant*10 + uint64(c-'0')
+				digits++
+			}
+			continue
+		}
+		break
+	}
+	if i < len(tok) && tok[i] == '.' {
+		i++
+		for ; i < len(tok); i++ {
+			c := tok[i]
+			if c < '0' || c > '9' {
+				break
+			}
+			if digits >= 16 {
+				return parseFloatSlow(tok)
+			}
+			if mant > 0 || c != '0' {
+				mant = mant*10 + uint64(c-'0')
+				digits++
+			}
+			decExp--
+		}
+	}
+	if i < len(tok) && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		eneg := false
+		if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+			eneg = tok[i] == '-'
+			i++
+		}
+		e := 0
+		for ; i < len(tok); i++ {
+			e = e*10 + int(tok[i]-'0')
+			if e > 400 {
+				return parseFloatSlow(tok)
+			}
+		}
+		if eneg {
+			e = -e
+		}
+		decExp += e
+	}
+	if digits > 15 || decExp < -22 || decExp > 22 {
+		return parseFloatSlow(tok)
+	}
+	f := float64(mant)
+	switch {
+	case decExp > 0:
+		f *= pow10[decExp]
+	case decExp < 0:
+		f /= pow10[-decExp]
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// pow10[i] = 10^i exactly, for 0 ≤ i ≤ 22 (the largest power of ten a
+// float64 represents exactly).
+var pow10 = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+func parseFloatSlow(tok []byte) (float64, bool) {
+	f, err := strconv.ParseFloat(string(tok), 64)
+	return f, err == nil
+}

@@ -81,6 +81,13 @@ type Server struct {
 	// persisted for warm restarts (see state.go).
 	stateDir string
 
+	// defaultModel is the model a plan request with no "model" field
+	// resolves to, resolved once at construction — pipefail.Models()
+	// allocates its slice per call, which the zero-alloc plan path
+	// cannot afford. Kept as bytes because that path splices it into
+	// pooled key scratch.
+	defaultModel []byte
+
 	// models is the copy-on-write name → snapshot map: readers Load once
 	// and never lock; writers clone-and-swap under mu.
 	models atomic.Pointer[map[string]*modelSnapshot]
@@ -102,6 +109,9 @@ type serveMetrics struct {
 	handlerPanics  *obs.Counter // handler panics recovered into 500s
 	shedCapacity   *obs.Counter // 503s from the in-flight cap
 	shedDraining   *obs.Counter // 503s issued while draining
+	planCacheHits    *obs.Counter // /api/plan responses replayed from cache
+	planCacheMisses  *obs.Counter // /api/plan responses computed and cached
+	planPrefixBuilds *obs.Counter // plan.BuildPrefix runs for non-default cost models
 	stateSaved     *obs.Counter // models persisted to the state dir
 	stateRestored  *obs.Counter // models reloaded on warm restart
 	stateSaveErrs  *obs.Counter // failed persistence attempts
@@ -121,6 +131,9 @@ func newServeMetrics() serveMetrics {
 		handlerPanics:  reg.Counter("serve.panics.recovered"),
 		shedCapacity:   reg.Counter("serve.shed.capacity"),
 		shedDraining:   reg.Counter("serve.shed.draining"),
+		planCacheHits:    reg.Counter("serve.plan.cache_hits"),
+		planCacheMisses:  reg.Counter("serve.plan.cache_misses"),
+		planPrefixBuilds: reg.Counter("serve.plan.prefix_builds"),
 		stateSaved:     reg.Counter("serve.state.saved"),
 		stateRestored:  reg.Counter("serve.state.restored"),
 		stateSaveErrs:  reg.Counter("serve.state.save_errors"),
@@ -153,12 +166,13 @@ func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOpt
 		logger = log.Default()
 	}
 	s := &Server{
-		net:     net,
-		pipe:    p,
-		log:     logger,
-		cache:   respcache.New("serve", DefaultCacheBytes, nil),
-		metrics: newServeMetrics(),
-		pending: make(map[string]*trainJob),
+		net:          net,
+		pipe:         p,
+		log:          logger,
+		cache:        respcache.New("serve", DefaultCacheBytes, nil),
+		metrics:      newServeMetrics(),
+		pending:      make(map[string]*trainJob),
+		defaultModel: []byte(pipefail.Models()[0]),
 	}
 	s.lifecycle, s.cancelLifecycle = context.WithCancel(context.Background())
 	empty := make(map[string]*modelSnapshot)
@@ -374,9 +388,13 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, format string, args
 
 // queryParam extracts the first value of key from a raw query string
 // without building the url.Values map (url.Query allocates per call).
-// Escaped values fall back to url.QueryUnescape; the well-known keys
-// this server uses ("top", "min", "by") never need escaping themselves.
-func queryParam(rawQuery, key string) (string, bool) {
+// Escaped values go through url.QueryUnescape; a value that fails to
+// decode (e.g. a bare "%" in top=1%) is reported as an error so the
+// caller can answer 400 — it used to be returned still-encoded, which
+// let malformed values masquerade as ordinary bad input downstream.
+// The well-known keys this server uses ("top", "min", "by") never need
+// escaping themselves.
+func queryParam(rawQuery, key string) (string, bool, error) {
 	for len(rawQuery) > 0 {
 		var pair string
 		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
@@ -389,13 +407,15 @@ func queryParam(rawQuery, key string) (string, bool) {
 			continue
 		}
 		if strings.ContainsAny(v, "%+") {
-			if dec, err := url.QueryUnescape(v); err == nil {
-				return dec, true
+			dec, err := url.QueryUnescape(v)
+			if err != nil {
+				return "", true, fmt.Errorf("undecodable %s parameter %q: %v", key, v, err)
 			}
+			return dec, true, nil
 		}
-		return v, true
+		return v, true, nil
 	}
-	return "", false
+	return "", false, nil
 }
 
 // handleMetrics serves a JSON snapshot of the default obs registry:
@@ -652,7 +672,12 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	top := 50
-	if q, _ := queryParam(r.URL.RawQuery, "top"); q != "" {
+	q, _, qerr := queryParam(r.URL.RawQuery, "top")
+	if qerr != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", qerr)
+		return
+	}
+	if q != "" {
 		top, err = strconv.Atoi(q)
 		if err != nil || top < 1 {
 			s.writeErr(w, http.StatusBadRequest, "bad top parameter %q", q)
@@ -720,7 +745,11 @@ func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 // network is immutable for the life of the server, so each dimension is
 // computed and encoded exactly once, with a body-hash ETag.
 func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
-	by, _ := queryParam(r.URL.RawQuery, "by")
+	by, _, qerr := queryParam(r.URL.RawQuery, "by")
+	if qerr != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", qerr)
+		return
+	}
 	var fill func() (any, error)
 	switch by {
 	case "", "material":
@@ -761,7 +790,12 @@ func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	min := 2
-	if q, _ := queryParam(r.URL.RawQuery, "min"); q != "" {
+	q, _, qerr := queryParam(r.URL.RawQuery, "min")
+	if qerr != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", qerr)
+		return
+	}
+	if q != "" {
 		var err error
 		min, err = strconv.Atoi(q)
 		if err != nil || min < 1 {
@@ -790,14 +824,40 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 
 // planRequest uses pointer fields for the priced parameters so "absent"
 // (use the default) and "explicitly zero" (a client bug — zero-cost
-// inspections or free failures price every plan nonsensically) are
-// distinguishable.
+// inspections, free failures or a zero spend cap price every plan
+// nonsensically) are distinguishable. This struct is the encoding/json
+// fallback shape; the hot path decodes the same fields into planFields
+// via parsePlanFast (see planreq.go).
 type planRequest struct {
 	Model           string   `json:"model"`
 	BudgetKM        float64  `json:"budget_km"`
 	MaxPipes        int      `json:"max_pipes"`
 	InspectionPerKM *float64 `json:"inspection_per_km"`
 	FailureCost     *float64 `json:"failure_cost"`
+	MaxSpend        *float64 `json:"max_spend"`
+}
+
+// decodePlanSlow is the fallback decoder for bodies outside
+// parsePlanFast's subset: full encoding/json semantics (and its exact
+// error messages), converted into the same planFields shape.
+func decodePlanSlow(data []byte, pf *planFields) error {
+	var req planRequest
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+		return err
+	}
+	pf.model = []byte(req.Model)
+	pf.budgetKM = req.BudgetKM
+	pf.maxPipes = req.MaxPipes
+	if req.InspectionPerKM != nil {
+		pf.inspPerKM, pf.hasInsp = *req.InspectionPerKM, true
+	}
+	if req.FailureCost != nil {
+		pf.failCost, pf.hasFail = *req.FailureCost, true
+	}
+	if req.MaxSpend != nil {
+		pf.maxSpend, pf.hasSpend = *req.MaxSpend, true
+	}
+	return nil
 }
 
 type planResponse struct {
@@ -814,54 +874,152 @@ const (
 	defaultFailureCost     = 150000
 )
 
-// handlePlan prices a budget-constrained inspection plan over the
-// snapshot's prebuilt candidate slice — no per-request candidate
-// construction or calibration.
+// handlePlan prices a budget-constrained inspection plan. Steady state
+// is a pure replay, symmetric with handleRanking: the body is read into
+// a pooled buffer and decoded by the zero-alloc fast parser, the
+// snapshot comes from one atomic map load, the canonical cache key
+// (model, rendered budget dimensions, cost parameters) is assembled in
+// pooled scratch, and a respcache hit is served with prebuilt headers —
+// or a 304 against the body ETag — without touching the heap. A miss
+// runs a binary search over the snapshot's precomputed plan prefix
+// (plan.BuildPrefix, paid once per cost model) instead of re-sorting
+// all candidates, then caches the encoded response.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	var req planRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	s.servePlan(w, r, buf)
+	if buf.Cap() <= bufPoolMax {
+		bufPool.Put(buf)
+	}
+}
+
+func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer) {
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Model == "" {
-		req.Model = pipefail.Models()[0]
-	}
-	inspectionPerKM := float64(defaultInspectionPerKM)
-	if req.InspectionPerKM != nil {
-		if *req.InspectionPerKM == 0 {
-			s.writeErr(w, http.StatusBadRequest,
-				"inspection_per_km is explicitly 0; omit the field for the default (%d)", defaultInspectionPerKM)
+	data := buf.Bytes()
+	var pf planFields
+	if !parsePlanFast(data, &pf) {
+		pf = planFields{}
+		if err := decodePlanSlow(data, &pf); err != nil {
+			s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		inspectionPerKM = *req.InspectionPerKM
 	}
-	failureCost := float64(defaultFailureCost)
-	if req.FailureCost != nil {
-		if *req.FailureCost == 0 {
-			s.writeErr(w, http.StatusBadRequest,
-				"failure_cost is explicitly 0; omit the field for the default (%d)", defaultFailureCost)
-			return
-		}
-		failureCost = *req.FailureCost
-	}
-	tm, err := s.get(r.Context(), req.Model)
-	if err != nil {
-		s.writeGetErr(w, err)
+
+	// Explicit zero on a priced or capped parameter is a client bug, not
+	// a request for a degenerate plan.
+	if pf.hasInsp && pf.inspPerKM == 0 {
+		s.writeErr(w, http.StatusBadRequest,
+			"inspection_per_km is explicitly 0; omit the field for the default (%d)", defaultInspectionPerKM)
 		return
+	}
+	if pf.hasFail && pf.failCost == 0 {
+		s.writeErr(w, http.StatusBadRequest,
+			"failure_cost is explicitly 0; omit the field for the default (%d)", defaultFailureCost)
+		return
+	}
+	if pf.hasSpend && pf.maxSpend == 0 {
+		s.writeErr(w, http.StatusBadRequest,
+			"max_spend is explicitly 0; omit the field for an uncapped spend")
+		return
+	}
+	// Negative budget dimensions used to silently mean "unconstrained"
+	// (the planner treats <= 0 as unset); reject them instead.
+	if pf.budgetKM < 0 {
+		s.writeErr(w, http.StatusBadRequest, "negative budget_km %v", pf.budgetKM)
+		return
+	}
+	if pf.maxPipes < 0 {
+		s.writeErr(w, http.StatusBadRequest, "negative max_pipes %d", pf.maxPipes)
+		return
+	}
+	if pf.maxSpend < 0 {
+		s.writeErr(w, http.StatusBadRequest, "negative max_spend %v", pf.maxSpend)
+		return
+	}
+
+	cm := defaultCostModel
+	if pf.hasInsp {
+		cm.InspectionPerKM = pf.inspPerKM
+	}
+	if pf.hasFail {
+		cm.FailureCost = pf.failCost
+	}
+	if err := cm.Validate(); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b := plan.Budget{MaxLengthM: pf.budgetKM * 1000, MaxCount: pf.maxPipes, MaxSpend: pf.maxSpend}
+	if b.MaxLengthM <= 0 && b.MaxCount <= 0 && b.MaxSpend <= 0 {
+		s.writeErr(w, http.StatusBadRequest, "%v", plan.ErrNoBudget)
+		return
+	}
+
+	if len(pf.model) == 0 {
+		pf.model = s.defaultModel
+	}
+	tm, ok := (*s.models.Load())[string(pf.model)]
+	if ok {
+		s.metrics.sfCached.Inc()
+	} else {
+		var err error
+		tm, err = s.get(r.Context(), string(pf.model))
+		if err != nil {
+			s.writeGetErr(w, err)
+			return
+		}
 	}
 	if tm.calibrator == nil {
-		s.writeErr(w, http.StatusConflict, "model %q has no calibrator; cannot price a plan", req.Model)
+		s.writeErr(w, http.StatusConflict, "model %q has no calibrator; cannot price a plan", pf.model)
 		return
 	}
-	cm := plan.CostModel{InspectionPerKM: inspectionPerKM, FailureCost: failureCost}
-	b := plan.Budget{MaxLengthM: req.BudgetKM * 1000, MaxCount: req.MaxPipes}
-	p, err := plan.Greedy(tm.cands, cm, b)
+
+	// Canonical key over decoded values, so textual aliases of one
+	// request ({"budget_km":5} vs {"budget_km":5.0}) share an entry.
+	kp := keyPool.Get().(*[]byte)
+	key := append((*kp)[:0], "plan\x00"...)
+	key = append(key, pf.model...)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, b.MaxLengthM)
+	key = append(key, 0)
+	key = strconv.AppendInt(key, int64(b.MaxCount), 10)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, b.MaxSpend)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, cm.InspectionPerKM)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, cm.FailureCost)
+
+	if e, ok := s.cache.Get(key); ok {
+		*kp = key
+		keyPool.Put(kp)
+		s.metrics.planCacheHits.Inc()
+		s.writeCached(w, r, e)
+		return
+	}
+	s.metrics.planCacheMisses.Inc()
+
+	// Miss: plan off the snapshot's prefix structure. Get/Add instead of
+	// GetOrFill so plan-validation failures map to 400 (and encode
+	// failures to 500) without ever being cached.
+	px, err := tm.prefixFor(cm, s.metrics.planPrefixBuilds)
 	if err != nil {
+		*kp = key
+		keyPool.Put(kp)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := px.Plan(b)
+	if err != nil {
+		*kp = key
+		keyPool.Put(kp)
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := planResponse{
-		Model:             req.Model,
+		Model:             string(pf.model),
 		TotalKM:           p.TotalLengthM / 1000,
 		InspectionCost:    p.InspectionCost,
 		ExpectedPrevented: p.ExpectedPrevented,
@@ -870,5 +1028,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if len(p.Selected) > 0 {
 		resp.Pipes = p.IDs()
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	body, err := encodeBody(resp)
+	if err != nil {
+		*kp = key
+		keyPool.Put(kp)
+		s.log.Printf("serve: encode plan for %s: %v", resp.Model, err)
+		s.writeErr(w, http.StatusInternalServerError, "encoding plan failed")
+		return
+	}
+	e := respcache.Entry{Body: body, ETag: respcache.BodyETag(body)}
+	s.cache.Add(key, e)
+	*kp = key
+	keyPool.Put(kp)
+	s.writeCached(w, r, e)
 }

@@ -7,18 +7,24 @@ package serve
 // the request path is slicing and encoding, never recomputation.
 //
 // Invariant: a *modelSnapshot and everything reachable from it is
-// read-only after newModelSnapshot returns. Handlers may share one
-// snapshot across any number of goroutines without synchronization; the
-// only mutable state is the Server's copy-on-write map of name →
+// read-only after newModelSnapshot returns — with one internally
+// synchronized exception: planMemo, a bounded sync.Map of plan.Prefix
+// structures keyed by cost model, which handlers fill lazily for
+// non-default cost models. Each Prefix is itself immutable once built.
+// Handlers may share one snapshot across any number of goroutines; the
+// only other mutable state is the Server's copy-on-write map of name →
 // snapshot (see Server.publish).
 
 import (
 	"encoding/binary"
 	"hash/fnv"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -39,14 +45,64 @@ type modelSnapshot struct {
 	entries []rankedPipe
 
 	// cands is the prebuilt plan.Candidate slice in ranking row order —
-	// plan.Greedy sorts internally, so handlePlan passes it as-is.
+	// the raw input both plan.Greedy and plan.BuildPrefix consume.
 	// Present only when the model calibrated.
 	cands []plan.Candidate
+
+	// planDefault is the prefix structure for the default cost model —
+	// the overwhelmingly common case — built once at snapshot time so the
+	// first /api/plan request already binary-searches instead of sorting.
+	// Nil when the model has no calibrator or the candidates fail plan
+	// validation (the per-request path reports the error).
+	planDefault *plan.Prefix
+
+	// planMemo lazily memoizes prefixes for non-default cost models,
+	// keyed by the plan.CostModel value. Bounded at planMemoMax distinct
+	// cost models per snapshot; past that, extra cost models rebuild per
+	// request (still ~ms, the pre-PR cost) instead of growing memory on
+	// attacker-chosen parameters.
+	planMemo  sync.Map
+	planMemoN atomic.Int32
 
 	// etag is the strong HTTP validator (quoted, as sent on the wire)
 	// derived from the model name and score bytes: any change to the
 	// ranking changes the tag, and re-training the same data reproduces it.
 	etag string
+}
+
+// planMemoMax bounds the distinct non-default cost models memoized per
+// snapshot.
+const planMemoMax = 16
+
+// defaultCostModel is the cost model used when a plan request carries no
+// explicit pricing; its prefix is prebuilt into every snapshot.
+var defaultCostModel = plan.CostModel{
+	InspectionPerKM: defaultInspectionPerKM,
+	FailureCost:     defaultFailureCost,
+}
+
+// prefixFor returns the plan prefix structure for cm, building and
+// memoizing it on first use. builds counts actual BuildPrefix runs (the
+// serve.plan.prefix_builds metric). Errors are plan validation errors —
+// exactly what plan.Greedy would report for the same inputs.
+func (tm *modelSnapshot) prefixFor(cm plan.CostModel, builds *obs.Counter) (*plan.Prefix, error) {
+	if cm == defaultCostModel && tm.planDefault != nil {
+		return tm.planDefault, nil
+	}
+	if px, ok := tm.planMemo.Load(cm); ok {
+		return px.(*plan.Prefix), nil
+	}
+	builds.Inc()
+	px, err := plan.BuildPrefix(tm.cands, cm)
+	if err != nil {
+		return nil, err
+	}
+	if tm.planMemoN.Load() < planMemoMax {
+		if _, loaded := tm.planMemo.LoadOrStore(cm, px); !loaded {
+			tm.planMemoN.Add(1)
+		}
+	}
+	return px, nil
 }
 
 // newModelSnapshot freezes a trained model. calibrator may be nil (plans
@@ -75,6 +131,13 @@ func newModelSnapshot(name string, m pipefail.Model, ranking *pipefail.Ranking, 
 				FailProb: probs[i],
 				LengthM:  ranking.LengthM[i],
 			}
+		}
+		// Pay the density sort once at publish time for the default cost
+		// model. A build error (out-of-range probability, zero length) is
+		// deliberately not fatal: planDefault stays nil and the request
+		// path rebuilds per call, surfacing the same 400 Greedy would.
+		if px, err := plan.BuildPrefix(tm.cands, defaultCostModel); err == nil {
+			tm.planDefault = px
 		}
 	}
 

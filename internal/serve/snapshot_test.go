@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 func TestRankingRejectsMalformedTop(t *testing.T) {
@@ -222,6 +223,9 @@ func TestCohortsAndHotspotsCached(t *testing.T) {
 // (snapshot load, key build, LRU hit, header set, body write) must not
 // allocate. Run outside -race, which instruments allocations.
 func TestRankingCacheHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gate runs without -race: race instrumentation and sync.Pool randomization inflate counts")
+	}
 	s, ts := newTestServer(t)
 	defer ts.Close()
 	if _, err := s.get(context.Background(), "Heuristic-Age"); err != nil {
@@ -371,6 +375,254 @@ func TestFailedTrainPopulatesNothing(t *testing.T) {
 	for _, k := range s.cache.Keys() {
 		if strings.Contains(k, "RankBoost") {
 			t.Fatalf("failed train left cache entry %q", k)
+		}
+	}
+}
+
+// TestPlanRejectsNegativeBudgets pins the validation fix: negative
+// budget dimensions used to read as "unconstrained" (the planner treats
+// <= 0 as unset), silently planning against the remaining dimensions or
+// none at all. They are now 400s.
+func TestPlanRejectsNegativeBudgets(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"model":"Heuristic-Age","budget_km":-4}`,
+		`{"model":"Heuristic-Age","budget_km":3,"max_pipes":-1}`,
+		`{"model":"Heuristic-Age","budget_km":3,"max_spend":-5}`,
+	} {
+		code, resp, err := post(ts.URL+"/api/plan", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 400 || !strings.Contains(string(resp), "negative") {
+			t.Fatalf("body %s: status %d resp %s, want 400 naming the negative field", body, code, resp)
+		}
+	}
+}
+
+// TestPlanMaxSpend covers the previously unreachable Budget.MaxSpend
+// dimension: explicit zero is rejected like the cost parameters, and a
+// positive cap both plans successfully and actually constrains spend.
+func TestPlanMaxSpend(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, resp, err := post(ts.URL+"/api/plan", `{"model":"Heuristic-Age","budget_km":3,"max_spend":0}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 400 || !strings.Contains(string(resp), "explicitly 0") {
+		t.Fatalf("explicit-zero max_spend: status %d resp %s", code, resp)
+	}
+
+	const cap = 11000.0
+	var out struct {
+		InspectionCost float64  `json:"inspection_cost"`
+		Pipes          []string `json:"pipes"`
+	}
+	code, body, err := post(ts.URL+"/api/plan", fmt.Sprintf(`{"model":"Heuristic-Age","max_spend":%g}`, cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 200 {
+		t.Fatalf("max_spend-only plan: status %d resp %s", code, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.InspectionCost > cap {
+		t.Fatalf("inspection cost %v exceeds max_spend %v", out.InspectionCost, cap)
+	}
+	if len(out.Pipes) == 0 {
+		t.Fatal("spend-capped plan selected nothing")
+	}
+}
+
+// TestPlanByteIdentityWithGreedy pins the tentpole's compatibility
+// contract end to end: across every budget dimension, combinations and
+// custom cost models, the HTTP response bytes match what the original
+// per-request plan.Greedy implementation encodes from the same snapshot.
+func TestPlanByteIdentityWithGreedy(t *testing.T) {
+	s, ts := newTestServer(t)
+	tm, err := s.get(context.Background(), "Logistic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults := plan.CostModel{InspectionPerKM: defaultInspectionPerKM, FailureCost: defaultFailureCost}
+	cases := []struct {
+		body string
+		cm   plan.CostModel
+		b    plan.Budget
+	}{
+		{`{"model":"Logistic","budget_km":3}`, defaults, plan.Budget{MaxLengthM: 3000}},
+		{`{"model":"Logistic","budget_km":2,"max_pipes":5}`, defaults, plan.Budget{MaxLengthM: 2000, MaxCount: 5}},
+		{`{"model":"Logistic","max_pipes":7}`, defaults, plan.Budget{MaxCount: 7}},
+		{`{"model":"Logistic","max_spend":20000}`, defaults, plan.Budget{MaxSpend: 20000}},
+		{`{"model":"Logistic","budget_km":2.5,"max_pipes":3,"max_spend":12345.5}`, defaults,
+			plan.Budget{MaxLengthM: 2500, MaxCount: 3, MaxSpend: 12345.5}},
+		{`{"model":"Logistic","budget_km":4,"max_spend":15000,"inspection_per_km":9000,"failure_cost":120000}`,
+			plan.CostModel{InspectionPerKM: 9000, FailureCost: 120000},
+			plan.Budget{MaxLengthM: 4000, MaxSpend: 15000}},
+	}
+	for _, tc := range cases {
+		code, got, err := post(ts.URL+"/api/plan", tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 200 {
+			t.Fatalf("body %s: status %d resp %s", tc.body, code, got)
+		}
+		p, err := plan.Greedy(tm.cands, tc.cm, tc.b)
+		if err != nil {
+			t.Fatalf("body %s: greedy oracle: %v", tc.body, err)
+		}
+		resp := planResponse{
+			Model:             "Logistic",
+			TotalKM:           p.TotalLengthM / 1000,
+			InspectionCost:    p.InspectionCost,
+			ExpectedPrevented: p.ExpectedPrevented,
+			ExpectedNet:       p.ExpectedNet,
+		}
+		if len(p.Selected) > 0 {
+			resp.Pipes = p.IDs()
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("body %s: served plan diverges from plan.Greedy\ngot:  %.200s\nwant: %.200s", tc.body, got, want.Bytes())
+		}
+	}
+}
+
+// TestPlanCachedReplayETagAnd304: repeat plans replay from the response
+// cache with a stable body ETag, textual aliases of one request share
+// the entry, and If-None-Match turns into an empty 304.
+func TestPlanCachedReplayETagAnd304(t *testing.T) {
+	_, ts := newTestServer(t)
+	url := ts.URL + "/api/plan"
+	body := `{"model":"Heuristic-Age","budget_km":3}`
+	do := func(b, inm string) (*http.Response, []byte) {
+		req, _ := http.NewRequest("POST", url, strings.NewReader(b))
+		req.Header.Set("Content-Type", "application/json")
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, rb
+	}
+
+	resp1, body1 := do(body, "")
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first plan: status %d resp %s", resp1.StatusCode, body1)
+	}
+	etag := resp1.Header.Get("Etag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("missing/unquoted plan ETag %q", etag)
+	}
+
+	hits0 := obs.Default().Counter("serve.plan.cache_hits").Value()
+	resp2, body2 := do(body, "")
+	if resp2.StatusCode != 200 || !bytes.Equal(body1, body2) || resp2.Header.Get("Etag") != etag {
+		t.Fatal("replayed plan differs from first encoding")
+	}
+	// A textual alias of the same request decodes to the same canonical
+	// key and shares the cache entry.
+	resp3, body3 := do(`{"budget_km":3.0,"max_pipes":0,"model":"Heuristic-Age"}`, "")
+	if resp3.StatusCode != 200 || !bytes.Equal(body1, body3) {
+		t.Fatal("aliased request missed the canonical cache entry")
+	}
+	if got := obs.Default().Counter("serve.plan.cache_hits").Value() - hits0; got < 2 {
+		t.Fatalf("plan cache hits advanced %d, want >= 2 (replay + alias)", got)
+	}
+
+	resp4, body4 := do(body, etag)
+	if resp4.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional plan status %d, want 304", resp4.StatusCode)
+	}
+	if len(body4) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(body4))
+	}
+	if resp4.Header.Get("Etag") != etag {
+		t.Fatalf("304 ETag %q, want %q", resp4.Header.Get("Etag"), etag)
+	}
+
+	// A different budget is a different plan: fresh entry, fresh tag.
+	resp5, body5 := do(`{"model":"Heuristic-Age","budget_km":1}`, "")
+	if resp5.StatusCode != 200 || bytes.Equal(body1, body5) {
+		t.Fatal("different budget served the cached plan")
+	}
+}
+
+// TestPlanCacheHitZeroAlloc is the `make verify` allocation gate for the
+// cached plan path: once a plan response is cached, replaying it (body
+// read into pooled scratch, fast parse, snapshot load, key build, LRU
+// hit, header set, body write) must not allocate — and neither may the
+// 304 path. Run outside -race, which instruments allocations.
+func TestPlanCacheHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gate runs without -race: race instrumentation and sync.Pool randomization inflate counts")
+	}
+	s, ts := newTestServer(t)
+	defer ts.Close()
+	if _, err := s.get(context.Background(), "Heuristic-Age"); err != nil {
+		t.Fatal(err)
+	}
+	rb := &replayBody{r: bytes.NewReader([]byte(`{"model":"Heuristic-Age","budget_km":10,"max_pipes":25}`))}
+	req := httptest.NewRequest("POST", "/api/plan", nil)
+	req.Body = rb
+	w := &nopWriter{h: make(http.Header)}
+	rb.rewind()
+	s.handlePlan(w, req) // warm: fill the cache, size the pools
+	allocs := testing.AllocsPerRun(500, func() {
+		rb.rewind()
+		s.handlePlan(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("plan cache hit allocated %.1f times per request, want 0", allocs)
+	}
+
+	// Recover the entry's ETag through a recorder, then gate the 304 path.
+	rec := httptest.NewRecorder()
+	rb.rewind()
+	s.handlePlan(rec, req)
+	etag := rec.Header().Get("Etag")
+	if etag == "" {
+		t.Fatal("cached plan served no ETag")
+	}
+	req.Header.Set("If-None-Match", etag)
+	allocs = testing.AllocsPerRun(500, func() {
+		rb.rewind()
+		s.handlePlan(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("plan 304 path allocated %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestQueryParamUndecodableIs400 pins the queryParam fix: a value whose
+// percent-encoding fails to decode used to be passed through raw,
+// masquerading as ordinary bad input; it is now a 400 naming the decode
+// failure on every route that reads query parameters.
+func TestQueryParamUndecodableIs400(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, u := range []string{
+		"/api/models/Heuristic-Age/ranking?top=1%",
+		"/api/hotspots?min=2%zz",
+		"/api/cohorts?by=%zz",
+	} {
+		var e map[string]any
+		code := getJSON(t, ts.URL+u, &e)
+		if code != 400 {
+			t.Errorf("%s: status %d, want 400", u, code)
+			continue
+		}
+		if msg, _ := e["error"].(string); !strings.Contains(msg, "undecodable") {
+			t.Errorf("%s: error %q does not name the decode failure", u, msg)
 		}
 	}
 }
