@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test verify chaos fuzz-smoke bench bench-json
+.PHONY: build test verify chaos fuzz-smoke bench bench-json bench-check
 
 build:
 	$(GO) build ./...
@@ -10,15 +10,19 @@ test:
 	$(GO) test ./...
 
 # verify is the pre-submit gate: static checks, the race detector on the
-# concurrency-bearing packages (the parallel training engine, the metrics
+# concurrency-bearing packages (the parallel training engine, the
+# pool-fanned eval kernels, the kernel-conformance harness, the metrics
 # registry, the singleflight + snapshot HTTP layer, the response cache
-# and the experiment fan-out), the allocation-regression gates on the AUC
-# kernel and the serve ranking/plan fast paths (run without -race, which
-# inflates allocation counts), the chaos suite, and a short fuzz pass
-# over the CSV parsers.
+# and the experiment fan-out), the kerneltest differential harness (exact
+# kernels bitwise vs naive oracles, fast-math kernels ULP-bounded plus
+# the AUC rank-equivalence property), the allocation-regression gates on
+# the AUC kernel and the serve ranking/plan fast paths (run without
+# -race, which inflates allocation counts), the chaos suite, and a short
+# fuzz pass over the CSV parsers and the AUC kernel differential.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/eval/... ./internal/kerneltest/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/...
+	$(GO) test ./internal/kerneltest -count=1
 	$(GO) test ./internal/eval -run='^TestAUCKernelZeroAlloc$$' -count=1
 	$(GO) test ./internal/serve -run='^(TestRankingCacheHitZeroAlloc|TestPlanCacheHitZeroAlloc|TestParsePlanFastZeroAlloc)$$' -count=1
 	$(MAKE) chaos
@@ -32,12 +36,15 @@ chaos:
 	$(GO) test -race ./internal/faulty/...
 	$(GO) test -race -run='^TestChaos' -count=1 ./internal/serve/
 
-# fuzz-smoke runs each dataset fuzzer briefly (FUZZTIME per target) —
-# enough to replay the corpus and shake out shallow regressions without
-# holding up the gate.
+# fuzz-smoke runs each fuzzer briefly (FUZZTIME per target) — enough to
+# replay the corpus and shake out shallow regressions without holding up
+# the gate. FuzzAUCKernelVsNaive is the kernel differential: arbitrary
+# score/label bytes must produce bitwise-identical AUCs from the
+# counting-rank kernel, the legacy sort kernel and the pairwise oracle.
 fuzz-smoke:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadPipes$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadFailures$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/eval -run='^$$' -fuzz='^FuzzAUCKernelVsNaive$$' -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -56,3 +63,15 @@ bench-json:
 	{ $(GO) test -run='^$$' -bench='BenchmarkRankingHandler|BenchmarkPlanHandler' ./internal/serve/; \
 	  $(GO) test -run='^$$' -bench='BenchmarkRespCache' ./internal/respcache/; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_serve.json
+
+# bench-check is the pre-release perf gate (NOT part of verify —
+# wall-clock numbers are too machine-sensitive for a merge gate): rerun
+# the core hot-path benchmarks and fail if any is >30% slower than the
+# checked-in BENCH_core.json, if its allocs/op grew at all, or if a
+# recorded benchmark disappeared. Refresh the baseline with bench-json.
+BENCH_TOL ?= 0.30
+bench-check:
+	{ $(GO) test -run='^$$' -bench='BenchmarkFitnessEval|BenchmarkScoreAllFlat' ./internal/core/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkAUCKernel|BenchmarkTopK' ./internal/eval/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkMatVec|BenchmarkDot' ./internal/linalg/; } \
+	| $(GO) run ./cmd/benchjson -check BENCH_core.json -tol $(BENCH_TOL)

@@ -13,6 +13,22 @@
 // make recipe emit several BENCH_*.json documents without shell
 // redirection ordering hazards.
 //
+// -check flips the tool from recorder to regression gate: instead of
+// emitting JSON it compares the fresh run on stdin against a checked-in
+// baseline and exits nonzero on regression:
+//
+//	go test -run '^$' -bench . ./internal/eval/ | benchjson -check BENCH_core.json -tol 0.3
+//
+// A benchmark regresses when its ns/op exceeds baseline*(1+tol), when
+// its allocs/op rises above the baseline count (allocation counts are
+// exact, so they get no tolerance), or when a baseline benchmark is
+// missing from the fresh run entirely. Benchmarks in the fresh run but
+// not the baseline are ignored — new benchmarks land in the baseline via
+// `make bench-json`. The gate is a pre-release check (`make
+// bench-check`), not part of verify: wall-clock numbers are too
+// machine-sensitive for a merge gate, but a 30% slide should never reach
+// a release unnoticed.
+//
 // Only benchmark result lines are parsed; all other output (pass/fail
 // summaries, pkg headers) is ignored. Lines that report B/op and
 // allocs/op (benchmarks using b.ReportAllocs) carry those fields; others
@@ -96,6 +112,8 @@ func parse(lines []string) ([]Result, error) {
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout (written via a temp-file rename)")
+	checkPath := flag.String("check", "", "compare the fresh run on stdin against this baseline JSON instead of emitting JSON; exit 1 on regression")
+	tol := flag.Float64("tol", 0.30, "with -check, allowed fractional ns/op slowdown over the baseline (allocs/op gets no tolerance)")
 	flag.Parse()
 
 	var lines []string
@@ -117,10 +135,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if *checkPath != "" {
+		baseline, err := readBaseline(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		violations := check(results, baseline, *tol)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
+			len(baseline), *tol*100, *checkPath)
+		return
+	}
 	if err := write(results, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readBaseline loads a checked-in BENCH_*.json document.
+func readBaseline(path string) ([]Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var baseline []Result
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmarks", path)
+	}
+	return baseline, nil
+}
+
+// check compares a fresh run against the baseline and returns one
+// message per violation. Every baseline benchmark must be present in the
+// fresh run — a silently dropped benchmark would otherwise read as a
+// pass — with ns/op at most baseline*(1+tol) and allocs/op (when the
+// baseline records it) not above the baseline count.
+func check(fresh, baseline []Result, tol float64) []string {
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var violations []string
+	for _, base := range baseline {
+		got, ok := byName[base.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: in baseline but missing from this run", base.Name))
+			continue
+		}
+		if limit := base.NsPerOp * (1 + tol); got.NsPerOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
+				base.Name, got.NsPerOp, base.NsPerOp, tol*100, limit))
+		}
+		if base.AllocsPerOp != nil {
+			switch {
+			case got.AllocsPerOp == nil:
+				violations = append(violations, fmt.Sprintf(
+					"%s: baseline records %d allocs/op but this run reports none (b.ReportAllocs dropped?)",
+					base.Name, *base.AllocsPerOp))
+			case *got.AllocsPerOp > *base.AllocsPerOp:
+				violations = append(violations, fmt.Sprintf(
+					"%s: %d allocs/op exceeds baseline %d (no tolerance on allocation counts)",
+					base.Name, *got.AllocsPerOp, *base.AllocsPerOp))
+			}
+		}
+	}
+	return violations
 }
 
 // write emits the results as indented JSON to path ("" = stdout). File

@@ -52,6 +52,80 @@ func TestParseRejectsNothing(t *testing.T) {
 	}
 }
 
+func intp(v int64) *int64 { return &v }
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkAUCKernel", NsPerOp: 1000, BytesPerOp: intp(0), AllocsPerOp: intp(0)},
+		{Name: "BenchmarkMatVec", NsPerOp: 500},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkAUCKernel", NsPerOp: 1200, BytesPerOp: intp(64), AllocsPerOp: intp(0)},
+		{Name: "BenchmarkMatVec", NsPerOp: 400},
+		{Name: "BenchmarkBrandNew", NsPerOp: 9e9}, // not in baseline: ignored
+	}
+	if v := check(fresh, baseline, 0.3); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckCatchesSlowdown(t *testing.T) {
+	baseline := []Result{{Name: "BenchmarkAUCKernel", NsPerOp: 1000}}
+	fresh := []Result{{Name: "BenchmarkAUCKernel", NsPerOp: 1301}}
+	v := check(fresh, baseline, 0.3)
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+}
+
+func TestCheckCatchesAllocGrowthWithoutTolerance(t *testing.T) {
+	baseline := []Result{{Name: "BenchmarkAUCKernel", NsPerOp: 1000, BytesPerOp: intp(0), AllocsPerOp: intp(0)}}
+	// 10% faster but one new alloc: still a regression — allocation
+	// counts are exact and get no tolerance.
+	fresh := []Result{{Name: "BenchmarkAUCKernel", NsPerOp: 900, BytesPerOp: intp(16), AllocsPerOp: intp(1)}}
+	if v := check(fresh, baseline, 0.3); len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	// Dropping b.ReportAllocs entirely must also fail, not silently pass.
+	fresh[0].BytesPerOp, fresh[0].AllocsPerOp = nil, nil
+	if v := check(fresh, baseline, 0.3); len(v) != 1 {
+		t.Fatalf("want 1 violation for missing alloc fields, got %v", v)
+	}
+}
+
+func TestCheckCatchesMissingBenchmark(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkAUCKernel", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}
+	fresh := []Result{{Name: "BenchmarkAUCKernel", NsPerOp: 1000}}
+	v := check(fresh, baseline, 0.3)
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation for missing benchmark, got %v", v)
+	}
+}
+
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(bad); err == nil {
+		t.Fatal("garbage baseline accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(empty); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, err := readBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
 func TestWriteToFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	results := []Result{{Name: "BenchmarkX", Iterations: 10, NsPerOp: 1.5}}

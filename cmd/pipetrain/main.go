@@ -18,6 +18,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/linalg"
 )
 
 func main() {
@@ -31,12 +32,15 @@ func main() {
 	esGens := flag.Int("esgens", 0, "override DirectAUC ES generations (0 = default)")
 	top := flag.Int("top", 20, "print the top-N ranked pipes")
 	save := flag.String("save", "", "persist a fitted linear model (DirectAUC-ES/RankSVM) as JSON")
+	fastMath := flag.Bool("fast-math", false,
+		"use reassociated multi-accumulator float kernels; faster, but fitted weights are no longer bit-comparable to exact-mode runs")
 	flag.Parse()
 
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	linalg.SetFastMath(*fastMath)
 
 	net, err := pipefail.LoadNetwork(*data)
 	if err != nil {

@@ -258,12 +258,17 @@ func (d *DirectAUC) FitContext(ctx context.Context, train *feature.Set) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%s: cancelled before final selection: %w", d.Name(), err)
 	}
+	// The full-set passes reuse one pool-fanned kernel: scratch persists
+	// across the µ re-rankings, and the counting pass itself fans out over
+	// the same pool as scoring (per-worker count slabs keep the result
+	// bit-identical to a serial pass).
+	finalKernel := eval.AUCKernel{Pool: pool}
 	best := parents[0]
 	if d.cfg.ExactFinal {
 		bestAUC := math.Inf(-1)
 		for _, p := range parents {
 			scores := scoreAllPar(train, p.w, pool)
-			a := exactAUC(scores, train.Label)
+			a := finalKernel.Compute(scores, train.Label)
 			if a > bestAUC {
 				bestAUC = a
 				best = p
@@ -272,7 +277,7 @@ func (d *DirectAUC) FitContext(ctx context.Context, train *feature.Set) error {
 		}
 		d.TrainAUC = bestAUC
 	} else {
-		d.TrainAUC = exactAUC(scoreAllPar(train, best.w, pool), train.Label)
+		d.TrainAUC = finalKernel.Compute(scoreAllPar(train, best.w, pool), train.Label)
 	}
 	d.W = linalg.Clone(best.w)
 	return nil

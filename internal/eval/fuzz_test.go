@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// aucFuzzBytes encodes a scores/labels pair in the fuzz wire format:
+// 9 bytes per item — 8 little-endian float64 bytes then a label byte
+// whose low bit is the class.
+func aucFuzzBytes(scores []float64, labels []bool) []byte {
+	buf := make([]byte, 0, 9*len(scores))
+	for i, s := range scores {
+		var item [9]byte
+		binary.LittleEndian.PutUint64(item[:8], math.Float64bits(s))
+		if labels[i] {
+			item[8] = 1
+		}
+		buf = append(buf, item[:]...)
+	}
+	return buf
+}
+
+// FuzzAUCKernelVsNaive decodes arbitrary bytes into a scores/labels pair
+// and demands that the counting-rank kernel, the legacy sort kernel and
+// the O(P·N) pairwise definition agree bitwise. NaN payloads are
+// normalized to 0 before the comparison: the kernel's NaN behavior is a
+// documented fallback to the sort path (covered by
+// TestAUCKernelNaNFallsBackToSort), while the pairwise oracle has no
+// meaningful NaN semantics to differ against.
+func FuzzAUCKernelVsNaive(f *testing.F) {
+	// All-ties: every score equal, both classes present.
+	f.Add(aucFuzzBytes(
+		[]float64{1.5, 1.5, 1.5, 1.5, 1.5},
+		[]bool{true, false, true, false, false}))
+	// Single class: AUC degenerates to 0.5 on both paths.
+	f.Add(aucFuzzBytes([]float64{0.1, 0.7, 0.3}, []bool{true, true, true}))
+	f.Add(aucFuzzBytes([]float64{0.1, 0.7, 0.3}, []bool{false, false, false}))
+	// NaN-free adversarial: infinities, both zeros, denormals, adjacent
+	// representable values, and quantized integers forcing tie groups
+	// that straddle the sign boundary.
+	f.Add(aucFuzzBytes(
+		[]float64{math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), 5e-324, -5e-324,
+			1, math.Nextafter(1, 2), -2, -2, 3, 3, 0, 1},
+		[]bool{true, false, true, false, true, false, true, false, true, false, true, false, true, false}))
+	f.Add([]byte{})
+	f.Add(aucFuzzBytes([]float64{42}, []bool{true}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 9
+		if n > 256 {
+			n = 256
+		}
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := 0; i < n; i++ {
+			s := math.Float64frombits(binary.LittleEndian.Uint64(data[i*9:]))
+			if math.IsNaN(s) {
+				s = 0
+			}
+			scores[i] = s
+			labels[i] = data[i*9+8]&1 == 1
+		}
+		var k, legacy AUCKernel
+		got := k.Compute(scores, labels)
+		want := legacy.computeViaSort(scores, labels)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("counting kernel %v != sort kernel %v (n=%d, scores=%v, labels=%v)",
+				got, want, n, scores, labels)
+		}
+		if pw := pairwiseAUC(scores, labels); math.Float64bits(got) != math.Float64bits(pw) {
+			t.Fatalf("counting kernel %v != pairwise %v (n=%d, scores=%v, labels=%v)",
+				got, pw, n, scores, labels)
+		}
+	})
+}

@@ -15,7 +15,10 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"slices"
+
+	"repro/internal/parallel"
 )
 
 // scoreIx pairs a score with its original row index — the composite sort
@@ -52,20 +55,299 @@ func cmpScoreIxDesc(a, b scoreIx) int {
 
 // AUCKernel computes empirical AUCs with reusable scratch: after the
 // first call at a given size, Compute performs zero allocations. One
-// kernel per goroutine — the ES gives each fitness worker its own.
+// kernel per goroutine — the ES gives each fitness worker its own. The
+// Pool field only fans *internal* loops; the kernel itself must still be
+// owned by a single goroutine.
 type AUCKernel struct {
-	buf []scoreIx
+	// Pool fans the negative-counting pass across workers with
+	// per-worker integer count scratch. Counts are merged by integer
+	// summation, so the result is bit-identical for any worker count,
+	// including the zero value (fully serial). Small inputs stay serial
+	// regardless, to keep goroutine overhead off the ES fitness path.
+	Pool parallel.Pool
+
+	buf []scoreIx // legacy sort scratch (NaN fallback path)
+
+	pos    []float64 // positive-class scores (sorted in place)
+	negKey []uint64  // order-keys of the negative-class scores
+	val    []float64 // distinct positive score values, ascending
+	valKey []uint64  // their keys, sentinel-shifted: valKey[g+1] is group g
+	posCnt []int64   // positives per distinct value
+	below  []int64   // per-worker strict-upper-bound buckets, W x (G+1)
+	tied   []int64   // per-worker tie buckets, shifted like valKey, W x (G+1)
 }
+
+// floatOrdKey maps a non-NaN float64 to a uint64 whose unsigned order is
+// the float order: positive floats get the sign bit set, negative floats
+// are bitwise inverted. The map is injective on canonicalized inputs
+// (-0 folded to +0), so key equality is float equality — the counting
+// pass can run entirely on integer compares, which the compiler lowers
+// to branchless SETcc/CMOV where float compares would emit data-dependent
+// jumps.
+func floatOrdKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	return b ^ (uint64(int64(b)>>63) | 1<<63)
+}
+
+// parallelAUCMin is the negative-count below which the counting pass
+// stays on the calling goroutine even when a Pool is configured:
+// spawning workers costs more than binary-searching a few thousand
+// values.
+const parallelAUCMin = 8192
 
 // Compute returns the empirical area under the ROC curve of scores
 // against labels, using the rank-statistic formulation (ties counted
-// half) in O(n log n). Degenerate single-class or empty inputs return
-// 0.5. It panics on length mismatch, which always indicates a schema bug
-// rather than a data condition.
+// half). Degenerate single-class or empty inputs return 0.5. It panics
+// on length mismatch, which always indicates a schema bug rather than a
+// data condition.
+//
+// The kernel is counting-rank based: it partitions the scores by class,
+// sorts only the positive side (failures are the rare class in every
+// pipe-year set, so this is the small side), and bucket-counts each
+// negative against the distinct positive values with one binary search —
+// O(P log P + N log P) instead of sorting all N+P scores. The rank walk
+// then replays exactly the float operations of the classic
+// sort-everything kernel: ranks and tie-group sizes are integers (exact
+// in float64, so order-free), and the rankSum additions happen in the
+// same ascending-group sequence, making the result bit-identical to the
+// legacy kernel — the property internal/kerneltest pins against the
+// stable-sort oracle. Inputs containing NaN fall back to the legacy sort
+// path (NaN never orders, so no counting identity holds); real score
+// vectors are NaN-free by dataset validation.
 func (k *AUCKernel) Compute(scores []float64, labels []bool) float64 {
 	if len(scores) != len(labels) {
 		panic(fmt.Sprintf("eval: AUC length mismatch %d vs %d", len(scores), len(labels)))
 	}
+	n := len(scores)
+	if n == 0 {
+		return 0.5
+	}
+
+	// Partition by class, screening for NaN on the way. -0 is folded to
+	// +0 (s + 0.0) so that float order/equality and key order/equality
+	// coincide; the fold cannot change the result because the rank
+	// statistic only ever compares scores and -0 == +0.
+	if cap(k.pos) < n {
+		k.pos = make([]float64, 0, n)
+	}
+	if cap(k.negKey) < n {
+		k.negKey = make([]uint64, 0, n)
+	}
+	pos, negKey := k.pos[:0], k.negKey[:0]
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			return k.computeViaSort(scores, labels)
+		}
+		s += 0.0
+		if labels[i] {
+			pos = append(pos, s)
+		} else {
+			negKey = append(negKey, floatOrdKey(s))
+		}
+	}
+	k.pos, k.negKey = pos, negKey
+	if len(pos) == 0 || len(negKey) == 0 {
+		return 0.5
+	}
+
+	// Sort the positive side and collapse it to distinct values, then key
+	// them with a duplicated leading sentinel: valKey[g+1] is group g, and
+	// valKey[0] repeats group 0 so the tie probe valKey[b] needs no b > 0
+	// guard (b == 0 implies the negative is strictly below group 0, which
+	// can never equal its key).
+	slices.Sort(pos)
+	val, cnt := k.val[:0], k.posCnt[:0]
+	for i := 0; i < len(pos); {
+		j := i
+		for j+1 < len(pos) && pos[j+1] == pos[i] {
+			j++
+		}
+		val = append(val, pos[i])
+		cnt = append(cnt, int64(j-i+1))
+		i = j + 1
+	}
+	k.val, k.posCnt = val, cnt
+	G := len(val)
+	valKey := k.valKey[:0]
+	if cap(valKey) < G+1 {
+		valKey = make([]uint64, 0, G+1)
+	}
+	valKey = append(valKey, floatOrdKey(val[0]))
+	for _, v := range val {
+		valKey = append(valKey, floatOrdKey(v))
+	}
+	k.valKey = valKey
+
+	// Count negatives against the positive groups: below[b] buckets each
+	// negative at its strict upper bound b (the number of group values at
+	// or below it), so the prefix sum through g is exactly #neg < val[g];
+	// tied[g+1] counts exact ties with group g. Each worker owns disjoint
+	// count slabs and the merge is integer addition, so any worker count
+	// yields bit-identical totals.
+	pool := k.Pool
+	if len(negKey) < parallelAUCMin {
+		pool = parallel.Pool{}
+	}
+	w := pool.Workers()
+	slab := G + 1
+	if need := w * slab; cap(k.below) < need {
+		k.below = make([]int64, need)
+		k.tied = make([]int64, need)
+	} else {
+		k.below = k.below[:need]
+		clear(k.below)
+		k.tied = k.tied[:need]
+		clear(k.tied)
+	}
+	below, tied := k.below, k.tied
+	if w == 1 {
+		// Inline serial pass: a closure handed to Run would escape and
+		// cost one allocation per Compute, which the zero-alloc gate on
+		// the ES fitness path forbids.
+		countNegatives(below, tied, valKey, negKey)
+	} else {
+		pool.Run(len(negKey), func(worker, lo, hi int) {
+			countNegatives(
+				below[worker*slab:(worker+1)*slab],
+				tied[worker*slab:(worker+1)*slab],
+				valKey, negKey[lo:hi])
+		})
+	}
+
+	// Rank walk over the positive groups in ascending order. rank, group
+	// sizes and the tie averages are all integer-valued (exact in
+	// float64), and rankSum receives the same addition sequence as the
+	// sort-based kernel: per positive group, its average rank added once
+	// per positive member.
+	var rankSum float64
+	var negLess, posBefore int64
+	for g := 0; g < G; g++ {
+		var eq int64
+		for wk := 0; wk < w; wk++ {
+			negLess += below[wk*slab+g]
+			eq += tied[wk*slab+g+1]
+		}
+		rank := float64(1 + posBefore + negLess)
+		size := cnt[g] + eq
+		avg := (rank + rank + float64(size-1)) / 2
+		for t := int64(0); t < cnt[g]; t++ {
+			rankSum += avg
+		}
+		posBefore += cnt[g]
+	}
+	nPos, nNeg := float64(len(pos)), float64(len(negKey))
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// countNegatives buckets each negative key at its strict upper bound b
+// among the distinct positive keys (below, length G+1) and counts exact
+// ties into the sentinel-shifted slot tied[b] (group b-1). valKey is the
+// sentinel-shifted key array: valKey[1:] are the G ascending group keys
+// and valKey[0] duplicates the first, so the tie probe valKey[b] is
+// always in bounds and can never spuriously match at b == 0.
+//
+// Negatives are processed in blocks of four independent search lanes.
+// Each lane runs the uniform-step branchless upper bound: the interval
+// length sequence depends only on G, so all four lanes execute the same
+// iteration count, and each step is a compare-to-mask (SETcc) plus a
+// masked add — no data-dependent jump. That removes the ~log2(G) branch
+// mispredicts per negative a classic binary search pays on random
+// scores, and the four independent L1 load chains overlap instead of
+// serializing — the same blocked multi-accumulator idea the linalg
+// kernels use, applied to searches.
+func countNegatives(below, tied []int64, valKey, negKey []uint64) {
+	vk := valKey[1:]
+	G := len(vk)
+	i := 0
+	for ; i+4 <= len(negKey); i += 4 {
+		kx0, kx1, kx2, kx3 := negKey[i], negKey[i+1], negKey[i+2], negKey[i+3]
+		var b0, b1, b2, b3 int
+		for n := G; n > 1; n -= n >> 1 {
+			half := n >> 1
+			var c0, c1, c2, c3 int
+			if vk[b0+half-1] <= kx0 {
+				c0 = 1
+			}
+			if vk[b1+half-1] <= kx1 {
+				c1 = 1
+			}
+			if vk[b2+half-1] <= kx2 {
+				c2 = 1
+			}
+			if vk[b3+half-1] <= kx3 {
+				c3 = 1
+			}
+			b0 += half & -c0
+			b1 += half & -c1
+			b2 += half & -c2
+			b3 += half & -c3
+		}
+		var c0, c1, c2, c3 int
+		if vk[b0] <= kx0 {
+			c0 = 1
+		}
+		if vk[b1] <= kx1 {
+			c1 = 1
+		}
+		if vk[b2] <= kx2 {
+			c2 = 1
+		}
+		if vk[b3] <= kx3 {
+			c3 = 1
+		}
+		b0 += c0
+		b1 += c1
+		b2 += c2
+		b3 += c3
+		below[b0]++
+		below[b1]++
+		below[b2]++
+		below[b3]++
+		var e0, e1, e2, e3 int64
+		if valKey[b0] == kx0 {
+			e0 = 1
+		}
+		if valKey[b1] == kx1 {
+			e1 = 1
+		}
+		if valKey[b2] == kx2 {
+			e2 = 1
+		}
+		if valKey[b3] == kx3 {
+			e3 = 1
+		}
+		tied[b0] += e0
+		tied[b1] += e1
+		tied[b2] += e2
+		tied[b3] += e3
+	}
+	for ; i < len(negKey); i++ {
+		kx := negKey[i]
+		b := 0
+		for n := G; n > 1; n -= n >> 1 {
+			half := n >> 1
+			var c int
+			if vk[b+half-1] <= kx {
+				c = 1
+			}
+			b += half & -c
+		}
+		if vk[b] <= kx {
+			b++
+		}
+		below[b]++
+		if valKey[b] == kx {
+			tied[b]++
+		}
+	}
+}
+
+// computeViaSort is the legacy sort-everything rank-statistic kernel:
+// sort (score, index) pairs, walk tie groups, average ranks. It remains
+// the NaN fallback and the in-package differential oracle for the
+// counting kernel (FuzzAUCKernelVsNaive and the kerneltest harness pin
+// Compute against it bit for bit on NaN-free inputs).
+func (k *AUCKernel) computeViaSort(scores []float64, labels []bool) float64 {
 	n := len(scores)
 	if n == 0 {
 		return 0.5

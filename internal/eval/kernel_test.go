@@ -108,6 +108,60 @@ func TestAUCKernelZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestAUCKernelMatchesLegacySort is the in-package differential gate for
+// the counting-rank kernel: on NaN-free input it must reproduce the
+// legacy sort-everything kernel bit for bit (the counting pass replays
+// the same float operation sequence), across continuous, heavily tied,
+// negative, and signed-zero score distributions.
+func TestAUCKernelMatchesLegacySort(t *testing.T) {
+	rng := stats.NewRNG(23)
+	var k, legacy AUCKernel
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(400)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			switch trial % 4 {
+			case 0:
+				scores[i] = rng.Uniform(-5, 5)
+			case 1:
+				scores[i] = float64(rng.Intn(7) - 3)
+			case 2:
+				scores[i] = math.Copysign(0, float64(rng.Intn(3)-1))
+			default:
+				scores[i] = rng.Norm() * math.Pow(10, float64(rng.Intn(13)-6))
+			}
+			labels[i] = rng.Bernoulli(0.25)
+		}
+		got := k.Compute(scores, labels)
+		want := legacy.computeViaSort(scores, labels)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (n=%d): counting %v != sort %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestAUCKernelNaNFallsBackToSort pins the NaN escape hatch: a NaN
+// score routes Compute to the legacy sort kernel, so both spellings
+// agree even though no counting identity holds for unordered values.
+func TestAUCKernelNaNFallsBackToSort(t *testing.T) {
+	scores := []float64{0.3, math.NaN(), 0.7, 0.1, math.NaN(), 0.9}
+	labels := []bool{true, false, false, true, true, false}
+	var k, legacy AUCKernel
+	got := k.Compute(scores, labels)
+	want := legacy.computeViaSort(scores, labels)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("NaN input: Compute %v != computeViaSort %v", got, want)
+	}
+	// The fallback must not poison the kernel: a clean follow-up call
+	// still matches the counting path.
+	clean := []float64{0.2, 0.8, 0.5, 0.5}
+	cleanLabels := []bool{false, true, true, false}
+	if g, w := k.Compute(clean, cleanLabels), legacy.computeViaSort(clean, cleanLabels); math.Float64bits(g) != math.Float64bits(w) {
+		t.Fatalf("post-NaN reuse: %v != %v", g, w)
+	}
+}
+
 // referenceRankOrder is the pre-kernel implementation: stable sort by
 // score descending (stability supplies the index tiebreak).
 func referenceRankOrder(scores []float64) []int {
@@ -167,6 +221,53 @@ func TestTopKMatchesFullSort(t *testing.T) {
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("trial %d k=%d: topk[%d] = %d != sorted %d", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRankerTopKHeavyTiesProperty is the tie-saturation property check:
+// for score vectors dominated by (or consisting entirely of) equal
+// values, Ranker.Order and TopK must agree with the full stable sort at
+// the exact boundary ks — 0, 1, n-1, n and n+1 — where clamping and
+// heap-eviction edge cases live. The levels=1 case makes every score
+// identical, so the entire ordering is decided by the index tiebreak.
+func TestRankerTopKHeavyTiesProperty(t *testing.T) {
+	rng := stats.NewRNG(29)
+	var r Ranker
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(250)
+		levels := 1 + trial%3 // 1 (all equal), 2, 3 distinct values
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(levels))
+		}
+		full := referenceRankOrder(scores)
+		order := r.Order(scores)
+		for i := range full {
+			if order[i] != full[i] {
+				t.Fatalf("trial %d (n=%d, levels=%d): Order[%d] = %d != stable %d",
+					trial, n, levels, i, order[i], full[i])
+			}
+		}
+		for _, k := range []int{0, 1, n - 1, n, n + 1} {
+			kk := k
+			if kk < 0 {
+				kk = 0
+			}
+			if kk > n {
+				kk = n
+			}
+			got := TopK(scores, k)
+			if len(got) != kk {
+				t.Fatalf("trial %d (n=%d, levels=%d) k=%d: len %d != %d",
+					trial, n, levels, k, len(got), kk)
+			}
+			for i := 0; i < kk; i++ {
+				if got[i] != full[i] {
+					t.Fatalf("trial %d (n=%d, levels=%d) k=%d: TopK[%d] = %d != stable %d",
+						trial, n, levels, k, i, got[i], full[i])
 				}
 			}
 		}

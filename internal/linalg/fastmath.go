@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Fast-math kernels: reassociated, multi-accumulator variants of the hot
+// float kernels. They trade the exact sequential summation order for
+// independent partial sums that break the loop-carried addition
+// dependency, so each add can issue as soon as its lane's previous add
+// retires.
+//
+// The contract (pinned by internal/kerneltest):
+//
+//   - Exact kernels (DotExact, MatVecExact) are the default and stay
+//     bit-identical to the naive sequential loop. Everything downstream —
+//     fitted weights, goldens, ETags — is reproducible by construction.
+//   - Fast kernels (DotFast, MatVecFast) may differ from the exact sum,
+//     but only by reassociation rounding: |fast − exact| is bounded by a
+//     small multiple of one ULP of Σ|aᵢ·bᵢ| (the unsigned magnitude of
+//     the summation, which is the right anchor under cancellation).
+//   - The dispatching wrappers (Dot, MatVec) follow the process-wide
+//     SetFastMath switch, which is off by default and opt-in via the
+//     -fast-math CLI flags. Flipping it mid-training is not supported:
+//     set it once at startup, before any fit.
+//
+// On inputs whose products are all representable integers the
+// reassociated sums are exact, hence bit-identical to the exact kernels —
+// the tail tests use that to pin remainder-lane handling.
+
+// fastMath is the process-wide reassociation opt-in. An atomic rather
+// than a plain bool only so concurrent readers are race-clean; the
+// supported pattern is a single store at startup.
+var fastMath atomic.Bool
+
+// SetFastMath enables (or disables) the reassociated fast-math kernels
+// behind Dot and MatVec. Call it once at process startup; models trained
+// with fast math on are not bit-comparable to exact-mode models.
+func SetFastMath(on bool) { fastMath.Store(on) }
+
+// FastMath reports whether the fast-math kernels are enabled.
+func FastMath() bool { return fastMath.Load() }
+
+// DotFast is the reassociated inner product: four independent
+// accumulator lanes over the unrolled body, combined pairwise at the
+// end, with the scalar tail summed separately. It panics on length
+// mismatch exactly like DotExact.
+func DotFast(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	tail := 0.0
+	for ; i < len(a); i++ {
+		tail += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + tail
+}
+
+// MatVecFast is the reassociated matrix-vector kernel: rows are blocked
+// in pairs sharing one streaming pass over x, and each row accumulates
+// into four independent lanes (eight live accumulators per block).
+// Remainder rows fall back to DotFast. Shape panics match MatVecExact.
+func MatVecFast(dst, flat []float64, stride int, x []float64) {
+	checkMatVec(dst, flat, stride, x)
+	r := 0
+	for ; r+2 <= len(dst); r += 2 {
+		base := r * stride
+		r0 := flat[base : base+stride][:len(x)]
+		r1 := flat[base+stride : base+2*stride][:len(x)]
+		var a0, a1, a2, a3 float64
+		var b0, b1, b2, b3 float64
+		j := 0
+		for ; j+4 <= len(x); j += 4 {
+			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+			a0 += r0[j] * x0
+			a1 += r0[j+1] * x1
+			a2 += r0[j+2] * x2
+			a3 += r0[j+3] * x3
+			b0 += r1[j] * x0
+			b1 += r1[j+1] * x1
+			b2 += r1[j+2] * x2
+			b3 += r1[j+3] * x3
+		}
+		ta, tb := 0.0, 0.0
+		for ; j < len(x); j++ {
+			ta += r0[j] * x[j]
+			tb += r1[j] * x[j]
+		}
+		dst[r] = ((a0 + a1) + (a2 + a3)) + ta
+		dst[r+1] = ((b0 + b1) + (b2 + b3)) + tb
+	}
+	for ; r < len(dst); r++ {
+		dst[r] = DotFast(flat[r*stride:(r+1)*stride], x)
+	}
+}

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastMathDefaultOff pins the startup contract: a fresh process runs
+// the exact kernels until someone opts in.
+func TestFastMathDefaultOff(t *testing.T) {
+	if FastMath() {
+		t.Fatal("fast math enabled by default")
+	}
+}
+
+// TestDotFastExactOnIntegerData exercises every lane/tail remainder of
+// the 4-lane fast dot on small-integer inputs, where all products and
+// partial sums are exactly representable: any summation order gives the
+// same float64, so the fast kernel must match the sequential reference
+// bit for bit. A botched remainder lane (skipped, doubled, misindexed)
+// shows up as an integer discrepancy, not a rounding blur.
+func TestDotFastExactOnIntegerData(t *testing.T) {
+	for n := 0; n <= 13; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = float64((i*7)%9 - 4)
+			b[i] = float64((i*5)%7 - 3)
+		}
+		want := dotNaive(a, b)
+		if got := DotFast(a, b); got != want {
+			t.Fatalf("n=%d: DotFast %v != sequential %v on integer data", n, got, want)
+		}
+	}
+}
+
+// TestMatVecFastExactOnIntegerData is the matrix version: every row
+// remainder of the 2-row blocking crossed with every stride remainder of
+// the 4-lane inner loop, on integer data where fast must equal exact.
+func TestMatVecFastExactOnIntegerData(t *testing.T) {
+	for rows := 0; rows <= 9; rows++ {
+		for stride := 0; stride <= 13; stride++ {
+			flat := make([]float64, rows*stride)
+			for i := range flat {
+				flat[i] = float64((i*3)%11 - 5)
+			}
+			x := make([]float64, stride)
+			for j := range x {
+				x[j] = float64((j*7)%5 - 2)
+			}
+			dst := make([]float64, rows)
+			MatVecFast(dst, flat, stride, x)
+			for r := 0; r < rows; r++ {
+				if want := dotNaive(flat[r*stride:(r+1)*stride], x); dst[r] != want {
+					t.Fatalf("rows=%d stride=%d row %d: MatVecFast %v != sequential %v",
+						rows, stride, r, dst[r], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFastMathDispatchRoutes flips the switch and checks Dot/MatVec
+// actually change kernels, using a cancellation-heavy input where the
+// reassociated sum differs bitwise from the sequential one.
+func TestFastMathDispatchRoutes(t *testing.T) {
+	const n = 64
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 1e8 + float64(i)*1.25
+		if i%2 == 1 {
+			a[i] = -a[i] + 0.5
+		}
+		b[i] = 1 + float64(i%5)*1e-9
+	}
+	exact, fast := DotExact(a, b), DotFast(a, b)
+	if math.Float64bits(exact) == math.Float64bits(fast) {
+		t.Skip("reassociation happened to round identically; dispatch covered by kerneltest")
+	}
+	defer SetFastMath(false)
+	SetFastMath(true)
+	if got := Dot(a, b); math.Float64bits(got) != math.Float64bits(fast) {
+		t.Fatalf("fast-math Dot %v != DotFast %v", got, fast)
+	}
+	dst := make([]float64, 1)
+	MatVec(dst, a, n, b)
+	fastDst := make([]float64, 1)
+	MatVecFast(fastDst, a, n, b)
+	if math.Float64bits(dst[0]) != math.Float64bits(fastDst[0]) {
+		t.Fatalf("fast-math MatVec %v != MatVecFast %v", dst[0], fastDst[0])
+	}
+	SetFastMath(false)
+	if got := Dot(a, b); math.Float64bits(got) != math.Float64bits(exact) {
+		t.Fatalf("exact-mode Dot %v != DotExact %v", got, exact)
+	}
+}
+
+// TestFastKernelPanicParity: the fast kernels enforce the identical
+// shape contract as the exact ones, so callers cannot observe which
+// kernel ran via error behavior.
+func TestFastKernelPanicParity(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("DotFast mismatch", func() { DotFast([]float64{1}, []float64{1, 2}) })
+	mustPanic("MatVecFast bad vector", func() {
+		MatVecFast(make([]float64, 2), make([]float64, 6), 3, []float64{1, 2})
+	})
+	mustPanic("MatVecFast bad flat", func() {
+		MatVecFast(make([]float64, 2), make([]float64, 5), 3, []float64{1, 2, 3})
+	})
+}

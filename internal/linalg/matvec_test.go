@@ -61,6 +61,61 @@ func TestMatVecMatchesRowDots(t *testing.T) {
 	}
 }
 
+// TestDotEdgeLengths pins the degenerate shapes: zero-length vectors
+// (empty sum is exactly 0), a single element (pure tail, no unrolled
+// block), and one value straddling each side of the first block
+// boundary.
+func TestDotEdgeLengths(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("empty Dot = %v, want 0", got)
+	}
+	if got := Dot([]float64{}, []float64{}); got != 0 {
+		t.Fatalf("empty non-nil Dot = %v, want 0", got)
+	}
+	if got := Dot([]float64{-2.5}, []float64{4}); got != -10 {
+		t.Fatalf("single-element Dot = %v, want -10", got)
+	}
+	if got := DotExact([]float64{-2.5}, []float64{4}); got != -10 {
+		t.Fatalf("single-element DotExact = %v, want -10", got)
+	}
+}
+
+// TestMatVecRemainderLanes sweeps every row-count remainder of the 4-row
+// blocking against every stride remainder of the 4-wide inner unroll
+// (lengths ≡ 0..3 mod 4 at several block counts), demanding bit identity
+// with per-row sequential dots. Values mix signs and irrational-ish
+// magnitudes so a reassociated (wrong) tail would actually change bits.
+func TestMatVecRemainderLanes(t *testing.T) {
+	for rows := 0; rows <= 9; rows++ {
+		for _, stride := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13} {
+			flat := make([]float64, rows*stride)
+			for i := range flat {
+				flat[i] = math.Sin(float64(i)*0.7) * math.Pow(10, float64(i%7-3))
+			}
+			x := make([]float64, stride)
+			for j := range x {
+				x[j] = math.Cos(float64(j)*1.3) - 0.4
+			}
+			dst := make([]float64, rows)
+			MatVec(dst, flat, stride, x)
+			for r := 0; r < rows; r++ {
+				if want := dotNaive(flat[r*stride:(r+1)*stride], x); dst[r] != want {
+					t.Fatalf("rows=%d stride=%d row %d: MatVec %v != sequential %v",
+						rows, stride, r, dst[r], want)
+				}
+			}
+			exact := make([]float64, rows)
+			MatVecExact(exact, flat, stride, x)
+			for r := range dst {
+				if exact[r] != dst[r] {
+					t.Fatalf("rows=%d stride=%d row %d: MatVecExact %v != MatVec %v",
+						rows, stride, r, exact[r], dst[r])
+				}
+			}
+		}
+	}
+}
+
 func TestMatVecPanics(t *testing.T) {
 	flat := make([]float64, 6)
 	dst := make([]float64, 2)
