@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test verify chaos fuzz-smoke bench bench-json bench-check
+.PHONY: build test verify chaos fuzz-smoke bench bench-json bench-data bench-check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ verify:
 	$(GO) test ./internal/kerneltest -count=1
 	$(GO) test ./internal/eval -run='^TestAUCKernelZeroAlloc$$' -count=1
 	$(GO) test ./internal/serve -run='^(TestRankingCacheHitZeroAlloc|TestPlanCacheHitZeroAlloc|TestParsePlanFastZeroAlloc)$$' -count=1
+	$(GO) test ./internal/colfmt -run='^(TestReadAllocsRowIndependent|TestIngestAllocsRowIndependent)$$' -count=1
 	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
 
@@ -45,6 +46,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadPipes$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadFailures$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/eval -run='^$$' -fuzz='^FuzzAUCKernelVsNaive$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/colfmt -run='^$$' -fuzz='^FuzzReadDataset$$' -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -69,9 +71,21 @@ bench-json:
 # the core hot-path benchmarks and fail if any is >30% slower than the
 # checked-in BENCH_core.json, if its allocs/op grew at all, or if a
 # recorded benchmark disappeared. Refresh the baseline with bench-json.
+# bench-data records the columnar data-plane benchmarks (streaming decode,
+# encode, CSV->columnar conversion, feature ingest) at 10k/100k/1M rows
+# into BENCH_data.json. BENCH_FULL=1 unlocks the 1M-pipe fixture, which
+# takes about a minute of synthesis before measurement starts.
+bench-data:
+	{ BENCH_FULL=1 $(GO) test -run='^$$' -bench='BenchmarkColRead|BenchmarkColWrite|BenchmarkConvertCSVToCol|BenchmarkIngest' -timeout 60m ./internal/colfmt/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkReadPipes|BenchmarkReadFailures' ./internal/dataset/; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_data.json
+
 BENCH_TOL ?= 0.30
 bench-check:
 	{ $(GO) test -run='^$$' -bench='BenchmarkFitnessEval|BenchmarkScoreAllFlat' ./internal/core/; \
 	  $(GO) test -run='^$$' -bench='BenchmarkAUCKernel|BenchmarkTopK' ./internal/eval/; \
 	  $(GO) test -run='^$$' -bench='BenchmarkMatVec|BenchmarkDot' ./internal/linalg/; } \
 	| $(GO) run ./cmd/benchjson -check BENCH_core.json -tol $(BENCH_TOL)
+	{ BENCH_FULL=1 $(GO) test -run='^$$' -bench='BenchmarkColRead|BenchmarkColWrite|BenchmarkConvertCSVToCol|BenchmarkIngest' -timeout 60m ./internal/colfmt/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkReadPipes|BenchmarkReadFailures' ./internal/dataset/; } \
+	| $(GO) run ./cmd/benchjson -check BENCH_data.json -tol $(BENCH_TOL)

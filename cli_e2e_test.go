@@ -30,7 +30,7 @@ func buildCmds(t *testing.T) map[string]string {
 	t.Helper()
 	dir := t.TempDir()
 	out := map[string]string{}
-	for _, name := range []string{"pipegen", "pipetrain", "pipeeval", "riskmap", "pipeserve"} {
+	for _, name := range []string{"pipegen", "pipetrain", "pipeeval", "riskmap", "pipeserve", "pipeconv"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -136,6 +136,93 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(svg), "<svg") {
 		t.Fatal("riskmap did not produce an SVG")
+	}
+}
+
+// TestCLIColumnarEndToEnd drives the columnar data plane through the
+// binaries: pipegen writes the same region in both formats, pipeconv
+// round-trips between them byte-exactly, and pipetrain produces identical
+// output whichever format it loads.
+func TestCLIColumnarEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+	csvDir := filepath.Join(work, "csvA")
+	colDir := filepath.Join(work, "colA")
+
+	// The same region in both formats.
+	runCmd(t, bins["pipegen"], "-region", "A", "-seed", "3", "-scale", "0.04", "-out", csvDir)
+	out := runCmd(t, bins["pipegen"], "-region", "A", "-seed", "3", "-scale", "0.04",
+		"-format", "col", "-out", colDir)
+	if !strings.Contains(out, "generated region A") {
+		t.Fatalf("pipegen -format col output:\n%s", out)
+	}
+	colFile := filepath.Join(colDir, "dataset.col")
+	if _, err := os.Stat(colFile); err != nil {
+		t.Fatalf("missing dataset.col: %v", err)
+	}
+
+	// CSV -> columnar conversion must reproduce pipegen's columnar bytes.
+	convCol := filepath.Join(work, "conv.col")
+	out = runCmd(t, bins["pipeconv"], "-in", csvDir, "-out", convCol)
+	if !strings.Contains(out, "pipes:") {
+		t.Fatalf("pipeconv output:\n%s", out)
+	}
+	direct, err := os.ReadFile(colFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converted, err := os.ReadFile(convCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, converted) {
+		t.Fatalf("pipegen -format col (%d bytes) and pipeconv CSV->col (%d bytes) differ",
+			len(direct), len(converted))
+	}
+
+	// Columnar -> CSV must reproduce the original CSV bytes.
+	backDir := filepath.Join(work, "back")
+	runCmd(t, bins["pipeconv"], "-in", colDir, "-out", backDir)
+	for _, name := range []string{"pipes.csv", "failures.csv", "meta.csv"} {
+		want, err := os.ReadFile(filepath.Join(csvDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(backDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("columnar->CSV round trip changed %s", name)
+		}
+	}
+
+	// Training must not depend on which format fed it.
+	trainCSV := runCmd(t, bins["pipetrain"], "-data", csvDir, "-model", "RankSVM", "-top", "5")
+	trainCol := runCmd(t, bins["pipetrain"], "-data", colDir, "-model", "RankSVM", "-top", "5")
+	if trainCSV != trainCol {
+		t.Fatalf("pipetrain output differs across formats:\n--- csv ---\n%s\n--- col ---\n%s",
+			trainCSV, trainCol)
+	}
+	// A bare .col file path works too.
+	trainFile := runCmd(t, bins["pipetrain"], "-data", colFile, "-model", "RankSVM", "-top", "5")
+	if trainFile != trainCol {
+		t.Fatalf("pipetrain on bare .col differs:\n%s\nvs\n%s", trainFile, trainCol)
+	}
+
+	// pipeeval evaluates loaded datasets via -data, and refuses
+	// experiments that need the synthetic generator.
+	out = runCmd(t, bins["pipeeval"], "-data", csvDir+","+colDir,
+		"-exp", "T2", "-models", "Heuristic-Age")
+	if !strings.Contains(out, "T2:") || !strings.Contains(out, "region A") {
+		t.Fatalf("pipeeval -data output:\n%s", out)
+	}
+	cmd := exec.Command(bins["pipeeval"], "-data", csvDir, "-exp", "T5")
+	if msg, err := cmd.CombinedOutput(); err == nil || !strings.Contains(string(msg), "cannot run on loaded datasets") {
+		t.Fatalf("pipeeval -data -exp T5 should refuse: err=%v\n%s", err, msg)
 	}
 }
 

@@ -66,8 +66,13 @@ type Result struct {
 // benchLine matches e.g.
 //
 //	BenchmarkFitnessEval-8   1933   610513 ns/op   42 B/op   0 allocs/op
+//	BenchmarkColRead/rows=10k   909   1324101 ns/op   368.81 MB/s   3432264 B/op   155 allocs/op
+//
+// The MB/s column (benchmarks using b.SetBytes) is skipped, not recorded:
+// it is derived from ns/op and the fixed byte size, so ns/op already
+// carries the signal.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // parse extracts benchmark results from go test -bench output.
 func parse(lines []string) ([]Result, error) {

@@ -13,6 +13,7 @@ func TestParseBenchOutput(t *testing.T) {
 		"pkg: repro/internal/core",
 		"BenchmarkFitnessEval-8  \t    1933\t    610513 ns/op\t      42 B/op\t       0 allocs/op",
 		"BenchmarkMatVec \t    2871\t    410645.5 ns/op",
+		"BenchmarkColRead/rows=10k \t     909\t   1324101 ns/op\t 368.81 MB/s\t 3432264 B/op\t     155 allocs/op",
 		"PASS",
 		"ok  \trepro/internal/core\t3.1s",
 	}
@@ -20,8 +21,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("parsed %d results, want 2", len(got))
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(got))
 	}
 	fe := got[0]
 	if fe.Name != "BenchmarkFitnessEval" {
@@ -39,6 +40,16 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if mv.BytesPerOp != nil || mv.AllocsPerOp != nil {
 		t.Fatalf("alloc fields must be absent when not reported: %+v", mv)
+	}
+	// b.SetBytes benchmarks insert an MB/s column before B/op; the alloc
+	// fields must still be captured (the throughput itself is derived, so
+	// it is skipped, not recorded).
+	cr := got[2]
+	if cr.Name != "BenchmarkColRead/rows=10k" || cr.NsPerOp != 1324101 {
+		t.Fatalf("bad MB/s line: %+v", cr)
+	}
+	if cr.BytesPerOp == nil || *cr.BytesPerOp != 3432264 || cr.AllocsPerOp == nil || *cr.AllocsPerOp != 155 {
+		t.Fatalf("alloc fields lost on MB/s line: %+v", cr)
 	}
 }
 

@@ -12,6 +12,7 @@
 //
 //	pipeeval -exp all -scale 0.25 -seed 1
 //	pipeeval -exp T2,T3 -scale 1 -models DirectAUC-ES,Cox,Weibull
+//	pipeeval -data data/regionA,data/regionB -models RankSVM,Cox
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"os"
 	"strings"
 
+	"repro"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/obs"
@@ -34,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed")
 	scale := flag.Float64("scale", 0.25, "region scale in (0,1]; 1 = full paper size")
 	regions := flag.String("regions", "A,B,C", "comma-separated region presets")
+	data := flag.String("data", "", "comma-separated dataset paths (CSV dirs, columnar dirs or .col files); evaluates loaded data instead of generating regions — only T2, T3 and F1 apply")
 	models := flag.String("models", "", "comma-separated model subset (default: full suite)")
 	esGens := flag.Int("esgens", 0, "override DirectAUC ES generations (0 = default)")
 	svgOut := flag.String("riskmap", "riskmap.svg", "output path for the F4 SVG")
@@ -55,12 +59,27 @@ func main() {
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, id := range []string{"T0", "T1", "T2", "T3", "F1", "T4", "F2", "T5", "F3", "T6", "F4", "T7", "F5", "T8", "F6"} {
-			want[id] = true
+		if *data != "" {
+			// Loaded datasets carry no synthetic.Config, so only the
+			// observed-data experiments apply.
+			for _, id := range []string{"T2", "T3", "F1"} {
+				want[id] = true
+			}
+		} else {
+			for _, id := range []string{"T0", "T1", "T2", "T3", "F1", "T4", "F2", "T5", "F3", "T6", "F4", "T7", "F5", "T8", "F6"} {
+				want[id] = true
+			}
 		}
 	} else {
 		for _, id := range splitList(*exp) {
 			want[strings.ToUpper(id)] = true
+		}
+	}
+	if *data != "" {
+		for id := range want {
+			if id != "T2" && id != "T3" && id != "F1" {
+				log.Fatalf("%s cannot run on loaded datasets (-data): it regenerates or perturbs a synthetic region; only T2, T3 and F1 apply", id)
+			}
 		}
 	}
 
@@ -98,7 +117,19 @@ func main() {
 
 	if needShared {
 		var err error
-		shared, err = experiments.RunRegions(opts)
+		if *data != "" {
+			var nets []*dataset.Network
+			for _, path := range splitList(*data) {
+				net, err := pipefail.LoadNetwork(path)
+				if err != nil {
+					log.Fatalf("load %s: %v", path, err)
+				}
+				nets = append(nets, net)
+			}
+			shared, err = experiments.RunNetworks(opts, nets)
+		} else {
+			shared, err = experiments.RunRegions(opts)
+		}
 		if err != nil {
 			log.Fatalf("evaluation pass: %v", err)
 		}

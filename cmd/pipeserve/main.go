@@ -6,6 +6,9 @@
 //	pipeserve -data data/regionA -addr :8080
 //	pipeserve -region B -scale 0.25 -addr :8080     # synthetic network
 //
+// -data accepts any dataset layout the loader sniffs: a CSV directory, a
+// columnar directory (dataset.col), or a bare .col file.
+//
 // Endpoints:
 //
 //	GET  /healthz   (liveness: 200 while the process runs)
@@ -58,7 +61,7 @@ func run() int {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("pipeserve: ")
 
-	data := flag.String("data", "", "network directory (pipes.csv/failures.csv/meta.csv)")
+	data := flag.String("data", "", "dataset path: CSV directory, columnar directory or .col file")
 	region := flag.String("region", "A", "synthetic region preset when -data is unset")
 	seed := flag.Int64("seed", 1, "generator / learner seed")
 	scale := flag.Float64("scale", 0.25, "synthetic region scale")

@@ -1,7 +1,9 @@
-// Command pipetrain trains a failure-prediction model on a network
-// directory (written by pipegen or exported from a utility system), ranks
-// the pipes for the held-out year, prints the evaluation metrics and the
-// top of the inspection list, and optionally persists linear models.
+// Command pipetrain trains a failure-prediction model on a dataset
+// (written by pipegen or exported from a utility system), ranks the pipes
+// for the held-out year, prints the evaluation metrics and the top of the
+// inspection list, and optionally persists linear models. The -data path
+// may be a CSV directory, a columnar directory, or a .col file; columnar
+// data streams straight into the feature builder.
 //
 // Usage:
 //
@@ -42,11 +44,14 @@ func main() {
 	}
 	linalg.SetFastMath(*fastMath)
 
-	net, err := pipefail.LoadNetwork(*data)
+	// OpenData sniffs the on-disk format; columnar datasets feed the
+	// feature builder straight from their column arrays, never
+	// materializing a row-oriented registry.
+	d, err := pipefail.OpenData(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := pipefail.NewPipeline(net,
+	p, err := pipefail.NewPipelineData(d,
 		pipefail.WithSeed(*seed), pipefail.WithESGenerations(*esGens))
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +66,7 @@ func main() {
 	}
 
 	fmt.Printf("model %s on region %s: trained on %d-%d, evaluated on %d\n",
-		*model, net.Region, p.Split().TrainFrom, p.Split().TrainTo, p.Split().TestYear)
+		*model, d.Region(), p.Split().TrainFrom, p.Split().TrainTo, p.Split().TestYear)
 	fmt.Printf("AUC %s | detection @1%% %s @5%% %s @10%% %s\n",
 		eval.FormatPercent(ranking.AUC()),
 		eval.FormatPercent(ranking.DetectionAt(0.01)),

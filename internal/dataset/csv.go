@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 )
 
 // The CSV schema mirrors the two registries a utility exports: a pipe table
@@ -22,43 +23,92 @@ var pipeHeader = []string{
 
 var failureHeader = []string{"pipe_id", "segment", "year", "day", "mode"}
 
-// WritePipes writes the pipe table as CSV.
-func WritePipes(w io.Writer, pipes []Pipe) error {
+// PipeWriter streams pipe rows to a CSV table one at a time, so callers
+// generating large registries never hold them in memory. The byte output
+// is identical to WritePipes on the same rows.
+type PipeWriter struct {
+	cw  *csv.Writer
+	rec [15]string
+}
+
+// NewPipeWriter writes the header and returns a row writer.
+func NewPipeWriter(w io.Writer) (*PipeWriter, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(pipeHeader); err != nil {
-		return fmt.Errorf("dataset: write pipe header: %w", err)
+		return nil, fmt.Errorf("dataset: write pipe header: %w", err)
+	}
+	return &PipeWriter{cw: cw}, nil
+}
+
+// Write appends one pipe row.
+func (pw *PipeWriter) Write(p *Pipe) error {
+	pw.rec = [15]string{
+		p.ID,
+		p.Class.String(),
+		string(p.Material),
+		string(p.Coating),
+		formatFloat(p.DiameterMM),
+		formatFloat(p.LengthM),
+		strconv.Itoa(p.LaidYear),
+		p.SoilCorrosivity,
+		p.SoilExpansivity,
+		p.SoilGeology,
+		p.SoilMap,
+		formatFloat(p.DistToTrafficM),
+		formatFloat(p.X),
+		formatFloat(p.Y),
+		strconv.Itoa(p.Segments),
+	}
+	if err := pw.cw.Write(pw.rec[:]); err != nil {
+		return fmt.Errorf("dataset: write pipe %q: %w", p.ID, err)
+	}
+	return nil
+}
+
+// Flush completes the table; call it exactly once after the last row.
+func (pw *PipeWriter) Flush() error {
+	pw.cw.Flush()
+	return pw.cw.Error()
+}
+
+// WritePipes writes the pipe table as CSV.
+func WritePipes(w io.Writer, pipes []Pipe) error {
+	pw, err := NewPipeWriter(w)
+	if err != nil {
+		return err
 	}
 	for i := range pipes {
-		p := &pipes[i]
-		rec := []string{
-			p.ID,
-			p.Class.String(),
-			string(p.Material),
-			string(p.Coating),
-			formatFloat(p.DiameterMM),
-			formatFloat(p.LengthM),
-			strconv.Itoa(p.LaidYear),
-			p.SoilCorrosivity,
-			p.SoilExpansivity,
-			p.SoilGeology,
-			p.SoilMap,
-			formatFloat(p.DistToTrafficM),
-			formatFloat(p.X),
-			formatFloat(p.Y),
-			strconv.Itoa(p.Segments),
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("dataset: write pipe %q: %w", p.ID, err)
+		if err := pw.Write(&pipes[i]); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return pw.Flush()
+}
+
+// intern deduplicates the low-cardinality string fields (class levels,
+// materials, soil factors, failure modes). encoding/csv backs every field
+// of a record with one shared string; keeping such a substring alive pins
+// the whole record's backing, and storing it per row multiplies the heap by
+// the row count. Interning stores each distinct value once.
+type intern map[string]string
+
+func (t intern) get(s string) string {
+	if v, ok := t[s]; ok {
+		return v
+	}
+	v := strings.Clone(s)
+	t[v] = v
+	return v
 }
 
 // ReadPipes parses a pipe table written by WritePipes.
 func ReadPipes(r io.Reader) ([]Pipe, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(pipeHeader)
+	// The record slice is scratch: every retained string is cloned
+	// (IDs) or interned (categoricals) in parsePipe, so the reader can
+	// reuse both the slice and the field backing between rows.
+	cr.ReuseRecord = true
 	head, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read pipe header: %w", err)
@@ -67,6 +117,7 @@ func ReadPipes(r io.Reader) ([]Pipe, error) {
 		return nil, err
 	}
 	var pipes []Pipe
+	tab := make(intern, 64)
 	// A duplicated pipe ID would make every ID-keyed structure downstream
 	// (failure joins, rank indexes) silently drop rows, so the parser
 	// rejects it here rather than deferring to network validation
@@ -80,7 +131,7 @@ func ReadPipes(r io.Reader) ([]Pipe, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: read pipe line %d: %w", line, err)
 		}
-		p, err := parsePipe(rec)
+		p, err := parsePipe(rec, tab)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: pipe line %d: %w", line, err)
 		}
@@ -93,18 +144,18 @@ func ReadPipes(r io.Reader) ([]Pipe, error) {
 	return pipes, nil
 }
 
-func parsePipe(rec []string) (Pipe, error) {
+func parsePipe(rec []string, tab intern) (Pipe, error) {
 	var p Pipe
 	var err error
 	if rec[0] == "" {
 		return p, fmt.Errorf("empty pipe id")
 	}
-	p.ID = rec[0]
+	p.ID = strings.Clone(rec[0])
 	if p.Class, err = ParsePipeClass(rec[1]); err != nil {
 		return p, err
 	}
-	p.Material = Material(rec[2])
-	p.Coating = Coating(rec[3])
+	p.Material = Material(tab.get(rec[2]))
+	p.Coating = Coating(tab.get(rec[3]))
 	if p.DiameterMM, err = parseFloat("diameter_mm", rec[4]); err != nil {
 		return p, err
 	}
@@ -114,10 +165,10 @@ func parsePipe(rec []string) (Pipe, error) {
 	if p.LaidYear, err = parseInt("laid_year", rec[6]); err != nil {
 		return p, err
 	}
-	p.SoilCorrosivity = rec[7]
-	p.SoilExpansivity = rec[8]
-	p.SoilGeology = rec[9]
-	p.SoilMap = rec[10]
+	p.SoilCorrosivity = tab.get(rec[7])
+	p.SoilExpansivity = tab.get(rec[8])
+	p.SoilGeology = tab.get(rec[9])
+	p.SoilMap = tab.get(rec[10])
 	if p.DistToTrafficM, err = parseFloat("dist_traffic_m", rec[11]); err != nil {
 		return p, err
 	}
@@ -133,33 +184,64 @@ func parsePipe(rec []string) (Pipe, error) {
 	return p, nil
 }
 
-// WriteFailures writes the failure log as CSV.
-func WriteFailures(w io.Writer, failures []Failure) error {
+// FailureWriter streams failure rows to a CSV log one at a time; the byte
+// output is identical to WriteFailures on the same rows.
+type FailureWriter struct {
+	cw  *csv.Writer
+	n   int
+	rec [5]string
+}
+
+// NewFailureWriter writes the header and returns a row writer.
+func NewFailureWriter(w io.Writer) (*FailureWriter, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(failureHeader); err != nil {
-		return fmt.Errorf("dataset: write failure header: %w", err)
+		return nil, fmt.Errorf("dataset: write failure header: %w", err)
+	}
+	return &FailureWriter{cw: cw}, nil
+}
+
+// Write appends one failure row.
+func (fw *FailureWriter) Write(f *Failure) error {
+	fw.rec = [5]string{
+		f.PipeID,
+		strconv.Itoa(f.Segment),
+		strconv.Itoa(f.Year),
+		strconv.Itoa(f.Day),
+		string(f.Mode),
+	}
+	if err := fw.cw.Write(fw.rec[:]); err != nil {
+		return fmt.Errorf("dataset: write failure %d: %w", fw.n, err)
+	}
+	fw.n++
+	return nil
+}
+
+// Flush completes the log; call it exactly once after the last row.
+func (fw *FailureWriter) Flush() error {
+	fw.cw.Flush()
+	return fw.cw.Error()
+}
+
+// WriteFailures writes the failure log as CSV.
+func WriteFailures(w io.Writer, failures []Failure) error {
+	fw, err := NewFailureWriter(w)
+	if err != nil {
+		return err
 	}
 	for i := range failures {
-		f := &failures[i]
-		rec := []string{
-			f.PipeID,
-			strconv.Itoa(f.Segment),
-			strconv.Itoa(f.Year),
-			strconv.Itoa(f.Day),
-			string(f.Mode),
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("dataset: write failure %d: %w", i, err)
+		if err := fw.Write(&failures[i]); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return fw.Flush()
 }
 
 // ReadFailures parses a failure log written by WriteFailures.
 func ReadFailures(r io.Reader) ([]Failure, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(failureHeader)
+	cr.ReuseRecord = true
 	head, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read failure header: %w", err)
@@ -168,6 +250,10 @@ func ReadFailures(r io.Reader) ([]Failure, error) {
 		return nil, err
 	}
 	var out []Failure
+	// Pipe IDs repeat across a failure log (a pipe fails many times), so
+	// interning them both unpins the reader's reused backing array and
+	// stores each ID once.
+	tab := make(intern, 1024)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -177,7 +263,7 @@ func ReadFailures(r io.Reader) ([]Failure, error) {
 			return nil, fmt.Errorf("dataset: read failure line %d: %w", line, err)
 		}
 		var f Failure
-		f.PipeID = rec[0]
+		f.PipeID = tab.get(rec[0])
 		if f.Segment, err = parseInt("segment", rec[1]); err != nil {
 			return nil, fmt.Errorf("dataset: failure line %d: %w", line, err)
 		}
@@ -187,7 +273,7 @@ func ReadFailures(r io.Reader) ([]Failure, error) {
 		if f.Day, err = parseInt("day", rec[3]); err != nil {
 			return nil, fmt.Errorf("dataset: failure line %d: %w", line, err)
 		}
-		f.Mode = FailureMode(rec[4])
+		f.Mode = FailureMode(tab.get(rec[4]))
 		out = append(out, f)
 	}
 	return out, nil
@@ -210,16 +296,22 @@ func SaveDir(n *Network, dir string) error {
 		return err
 	}
 	return writeFile(filepath.Join(dir, "meta.csv"), func(w io.Writer) error {
-		cw := csv.NewWriter(w)
-		if err := cw.Write([]string{"region", "observed_from", "observed_to"}); err != nil {
-			return err
-		}
-		if err := cw.Write([]string{n.Region, strconv.Itoa(n.ObservedFrom), strconv.Itoa(n.ObservedTo)}); err != nil {
-			return err
-		}
-		cw.Flush()
-		return cw.Error()
+		return WriteMeta(w, n.Region, n.ObservedFrom, n.ObservedTo)
 	})
+}
+
+// WriteMeta writes the meta.csv table (region and observation window) in
+// the format SaveDir emits and LoadDir expects.
+func WriteMeta(w io.Writer, region string, observedFrom, observedTo int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"region", "observed_from", "observed_to"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{region, strconv.Itoa(observedFrom), strconv.Itoa(observedTo)}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // LoadDir reads a network previously written by SaveDir and validates it.

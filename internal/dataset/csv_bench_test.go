@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchPipes builds a synthetic-free registry big enough that parser
+// allocation behaviour dominates the measurement.
+func benchPipes(n int) []Pipe {
+	soils := []string{"low", "moderate", "high", "severe"}
+	mats := []Material{CI, CICL, AC, DICL, PVC}
+	pipes := make([]Pipe, n)
+	for i := range pipes {
+		pipes[i] = Pipe{
+			ID:              fmt.Sprintf("BENCH-%06d", i),
+			Class:           PipeClass(i % 2),
+			Material:        mats[i%len(mats)],
+			Coating:         "NONE",
+			DiameterMM:      100 + float64(i%8)*50,
+			LengthM:         40 + float64(i%13)*10,
+			LaidYear:        1900 + i%100,
+			SoilCorrosivity: soils[i%4],
+			SoilExpansivity: soils[(i/4)%4],
+			SoilGeology:     soils[(i/16)%4],
+			SoilMap:         fmt.Sprintf("Z%02d", i%24),
+			DistToTrafficM:  float64(i % 400),
+			X:               float64(i % 1000),
+			Y:               float64(i / 1000),
+			Segments:        1 + i%9,
+		}
+	}
+	return pipes
+}
+
+func benchFailures(n int) []Failure {
+	fails := make([]Failure, n)
+	for i := range fails {
+		fails[i] = Failure{
+			PipeID:  fmt.Sprintf("BENCH-%06d", i%2000),
+			Segment: i % 7,
+			Year:    1998 + i%12,
+			Day:     i % 365,
+			Mode:    FailureMode([]string{"BREAK", "LEAK"}[i%2]),
+		}
+	}
+	return fails
+}
+
+func BenchmarkReadPipes(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WritePipes(&buf, benchPipes(20_000)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadPipes(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFailures(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteFailures(&buf, benchFailures(40_000)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFailures(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWritePipes(b *testing.B) {
+	pipes := benchPipes(20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WritePipes(&buf, pipes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -211,13 +211,27 @@ type RegionResult struct {
 // evaluates the configured models — the shared engine behind T2, T3 and F1.
 func RunRegions(opts Options) ([]RegionResult, error) {
 	opts = opts.withDefaults()
-	reg := NewRegistry(opts.Seed, opts.ESGenerations)
-	var out []RegionResult
+	var nets []*dataset.Network
 	for _, name := range opts.Regions {
 		net, _, err := GenerateRegion(name, opts)
 		if err != nil {
 			return nil, err
 		}
+		nets = append(nets, net)
+	}
+	return RunNetworks(opts, nets)
+}
+
+// RunNetworks is RunRegions over already-loaded networks (e.g. datasets
+// read from disk by pipeeval -data): each network gets the paper split and
+// the configured model suite. Only experiments that need nothing beyond
+// the observed data (T2, T3, F1) can be driven this way — sweeps that
+// regenerate or perturb a region need a synthetic.Config, not a Network.
+func RunNetworks(opts Options, nets []*dataset.Network) ([]RegionResult, error) {
+	opts = opts.withDefaults()
+	reg := NewRegistry(opts.Seed, opts.ESGenerations)
+	var out []RegionResult
+	for _, net := range nets {
 		split, err := dataset.PaperSplit(net)
 		if err != nil {
 			return nil, err
@@ -226,7 +240,7 @@ func RunRegions(opts Options) ([]RegionResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, RegionResult{Region: name, Net: net, Evals: evals})
+		out = append(out, RegionResult{Region: net.Region, Net: net, Evals: evals})
 	}
 	return out, nil
 }

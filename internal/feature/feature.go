@@ -196,12 +196,13 @@ func max(a, b int) int {
 	return b
 }
 
-// Builder encodes a network's pipes into Sets. A Builder is bound to one
-// network; categorical vocabularies are collected from the full registry
-// (attributes are known for all pipes up front — only labels are temporal),
-// while numeric scaling statistics are fitted on the training set alone.
+// Builder encodes a registry's pipes into Sets. A Builder is bound to one
+// Source (a materialized network or a columnar dataset); categorical
+// vocabularies are collected from the full registry (attributes are known
+// for all pipes up front — only labels are temporal), while numeric scaling
+// statistics are fitted on the training set alone.
 type Builder struct {
-	net  *dataset.Network
+	src  Source
 	opts Options
 
 	materials []dataset.Material
@@ -227,11 +228,21 @@ func NewBuilder(net *dataset.Network, opts Options) (*Builder, error) {
 	if net == nil {
 		return nil, fmt.Errorf("feature: nil network")
 	}
+	return NewBuilderFromSource(NetworkSource(net), opts)
+}
+
+// NewBuilderFromSource returns a Builder over any Source, e.g. a columnar
+// dataset that never materializes []Pipe. Zero-valued Options get the full
+// feature set with standardization enabled.
+func NewBuilderFromSource(src Source, opts Options) (*Builder, error) {
+	if src == nil {
+		return nil, fmt.Errorf("feature: nil source")
+	}
 	if !opts.Groups.Any() {
 		opts.Groups = AllGroups()
 		opts.Standardize = true
 	}
-	b := &Builder{net: net, opts: opts}
+	b := &Builder{src: src, opts: opts}
 	b.collectVocabularies()
 	b.buildNames()
 	if len(b.names) == 0 {
@@ -246,7 +257,9 @@ func (b *Builder) collectVocabularies() {
 	mats := map[dataset.Material]bool{}
 	coats := map[dataset.Coating]bool{}
 	sc, se, sg, sm := map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}
-	for _, p := range b.net.Pipes() {
+	var p dataset.Pipe
+	for i, n := 0, b.src.NumPipes(); i < n; i++ {
+		b.src.PipeAt(i, &p)
 		mats[p.Material] = true
 		coats[p.Coating] = true
 		sc[p.SoilCorrosivity] = true
@@ -331,11 +344,11 @@ func (b *Builder) Names() []string { return append([]string(nil), b.names...) }
 // Dim returns the feature dimensionality.
 func (b *Builder) Dim() int { return len(b.names) }
 
-// rowInto encodes one pipe as of a given year into x, a caller-owned
-// slice of length Dim (typically a row view of the flat backing).
-// historyFrom..historyTo bound the failure window visible to the history
-// features.
-func (b *Builder) rowInto(x []float64, p *dataset.Pipe, year, historyFrom, historyTo int) {
+// rowInto encodes pipe i (attributes in p) as of a given year into x, a
+// caller-owned slice of length Dim (typically a row view of the flat
+// backing). historyFrom..historyTo bound the failure window visible to the
+// history features.
+func (b *Builder) rowInto(x []float64, i int, p *dataset.Pipe, year, historyFrom, historyTo int) {
 	g := b.opts.Groups
 	j := 0
 	put := func(v float64) { x[j] = v; j++ }
@@ -376,7 +389,7 @@ func (b *Builder) rowInto(x []float64, p *dataset.Pipe, year, historyFrom, histo
 	if g.History {
 		n := 0
 		if historyTo >= historyFrom {
-			n = b.net.FailureCount(p.ID, historyFrom, historyTo)
+			n = b.src.FailureCountAt(i, historyFrom, historyTo)
 		}
 		put(float64(n))
 		put(boolTo01(n > 0))
@@ -395,11 +408,11 @@ func boolTo01(v bool) float64 {
 // use failures in [split.TrainFrom, y-1] only. The returned set is dense
 // (one contiguous backing array; see Set.Flat).
 func (b *Builder) TrainSet(split dataset.Split) (*Set, error) {
-	pipes := b.net.Pipes()
+	numPipes := b.src.NumPipes()
 	rows := 0
 	for y := split.TrainFrom; y <= split.TrainTo; y++ {
-		for i := range pipes {
-			if pipes[i].LaidYear <= y {
+		for i := 0; i < numPipes; i++ {
+			if b.src.LaidYearAt(i) <= y {
 				rows++
 			}
 		}
@@ -409,14 +422,15 @@ func (b *Builder) TrainSet(split dataset.Split) (*Set, error) {
 	}
 	s := NewDense(b.Names(), rows, b.Dim())
 	r := 0
+	var p dataset.Pipe
 	for y := split.TrainFrom; y <= split.TrainTo; y++ {
-		for i := range pipes {
-			p := &pipes[i]
-			if p.LaidYear > y {
+		for i := 0; i < numPipes; i++ {
+			if b.src.LaidYearAt(i) > y {
 				continue
 			}
-			b.rowInto(s.X[r], p, y, split.TrainFrom, y-1)
-			s.Label[r] = b.net.FailedInYear(p.ID, y)
+			b.src.PipeAt(i, &p)
+			b.rowInto(s.X[r], i, &p, y, split.TrainFrom, y-1)
+			s.Label[r] = b.src.FailedInYearAt(i, y)
 			s.Age[r] = p.AgeAt(y)
 			s.LengthM[r] = p.LengthM
 			s.PipeIdx[r] = i
@@ -436,11 +450,11 @@ func (b *Builder) TestSet(split dataset.Split) (*Set, error) {
 	if !b.fitted {
 		return nil, fmt.Errorf("feature: TestSet called before TrainSet")
 	}
-	pipes := b.net.Pipes()
+	numPipes := b.src.NumPipes()
 	y := split.TestYear
 	rows := 0
-	for i := range pipes {
-		if pipes[i].LaidYear <= y {
+	for i := 0; i < numPipes; i++ {
+		if b.src.LaidYearAt(i) <= y {
 			rows++
 		}
 	}
@@ -449,13 +463,14 @@ func (b *Builder) TestSet(split dataset.Split) (*Set, error) {
 	}
 	s := NewDense(b.Names(), rows, b.Dim())
 	r := 0
-	for i := range pipes {
-		p := &pipes[i]
-		if p.LaidYear > y {
+	var p dataset.Pipe
+	for i := 0; i < numPipes; i++ {
+		if b.src.LaidYearAt(i) > y {
 			continue
 		}
-		b.rowInto(s.X[r], p, y, split.TrainFrom, split.TrainTo)
-		s.Label[r] = b.net.FailedInYear(p.ID, y)
+		b.src.PipeAt(i, &p)
+		b.rowInto(s.X[r], i, &p, y, split.TrainFrom, split.TrainTo)
+		s.Label[r] = b.src.FailedInYearAt(i, y)
 		s.Age[r] = p.AgeAt(y)
 		s.LengthM[r] = p.LengthM
 		s.PipeIdx[r] = i

@@ -34,61 +34,210 @@ func Generate(cfg Config) (*dataset.Network, *Truth, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	truth := &Truth{
+		Frailty:       make([]float64, cfg.NumPipes),
+		FinalYearRate: make([]float64, cfg.NumPipes),
+	}
+	pipes := make([]dataset.Pipe, 0, cfg.NumPipes)
+	var failures []dataset.Failure
+	hz, trueFailures, err := generateCore(cfg,
+		func(i int, p *dataset.Pipe, frailty, finalRate float64) error {
+			pipes = append(pipes, *p)
+			truth.Frailty[i] = frailty
+			truth.FinalYearRate[i] = finalRate
+			return nil
+		},
+		func(f *dataset.Failure) error {
+			failures = append(failures, *f)
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	truth.TrueFailures = trueFailures
+	truth.CalibratedHazard = hz
+
+	net := dataset.NewNetwork(cfg.Region, cfg.ObservedFrom, cfg.ObservedTo, pipes, failures)
+	if err := net.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("synthetic: generated network invalid: %w", err)
+	}
+	return net, truth, nil
+}
+
+// StreamSummary is what GenerateStream can report without ever holding the
+// network: the aggregate rows Network.Summarize would produce, plus the
+// ground-truth counters a caller needs for logging.
+type StreamSummary struct {
+	// TrueFailures counts failures generated before recording noise.
+	TrueFailures int
+	// RecordedFailures counts failures that survived recording noise (the
+	// rows actually emitted).
+	RecordedFailures int
+	// CalibratedHazard is the hazard actually used for sampling.
+	CalibratedHazard HazardParams
+	// Rows matches Network.Summarize() on the equivalent materialized
+	// network: All first, then CWM and RWM where present.
+	Rows []dataset.Summary
+}
+
+// GenerateStream is Generate without materialization: pipes and failures
+// are handed to the callbacks in deterministic order (each pipe in registry
+// order, immediately followed by its recorded failures) and never collected
+// into slices, so memory stays flat regardless of NumPipes. The emitted
+// rows are bit-identical to Generate's for the same Config — Generate is a
+// thin collector over the same core (see TestGenerateStreamMatchesGenerate).
+// onFailure may be nil when the caller only needs pipes.
+func GenerateStream(cfg Config, onPipe func(*dataset.Pipe) error, onFailure func(*dataset.Failure) error) (*StreamSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type agg struct {
+		pipes, fails     int
+		laidFrom, laidTo int
+		lenM             float64
+	}
+	add := func(a *agg, p *dataset.Pipe) {
+		if a.pipes == 0 || p.LaidYear < a.laidFrom {
+			a.laidFrom = p.LaidYear
+		}
+		if a.pipes == 0 || p.LaidYear > a.laidTo {
+			a.laidTo = p.LaidYear
+		}
+		a.pipes++
+		a.lenM += p.LengthM
+	}
+	var all, cwm, rwm agg
+	var curClass dataset.PipeClass
+	recorded := 0
+	hz, trueFailures, err := generateCore(cfg,
+		func(i int, p *dataset.Pipe, _, _ float64) error {
+			curClass = p.Class
+			add(&all, p)
+			if p.Class == dataset.CriticalMain {
+				add(&cwm, p)
+			} else {
+				add(&rwm, p)
+			}
+			if onPipe != nil {
+				return onPipe(p)
+			}
+			return nil
+		},
+		func(f *dataset.Failure) error {
+			recorded++
+			all.fails++
+			// Failures follow their pipe in emission order, so curClass is
+			// the class of the failed pipe.
+			if curClass == dataset.CriticalMain {
+				cwm.fails++
+			} else {
+				rwm.fails++
+			}
+			if onFailure != nil {
+				return onFailure(f)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	sum := &StreamSummary{
+		TrueFailures:     trueFailures,
+		RecordedFailures: recorded,
+		CalibratedHazard: hz,
+	}
+	row := func(scope string, a agg) dataset.Summary {
+		return dataset.Summary{
+			Region:       cfg.Region,
+			Scope:        scope,
+			NumPipes:     a.pipes,
+			NumFailures:  a.fails,
+			LaidFrom:     a.laidFrom,
+			LaidTo:       a.laidTo,
+			ObservedFrom: cfg.ObservedFrom,
+			ObservedTo:   cfg.ObservedTo,
+			TotalKM:      a.lenM / 1000,
+		}
+	}
+	sum.Rows = append(sum.Rows, row("All", all))
+	if cwm.pipes > 0 {
+		sum.Rows = append(sum.Rows, row(dataset.CriticalMain.String(), cwm))
+	}
+	if rwm.pipes > 0 {
+		sum.Rows = append(sum.Rows, row(dataset.ReticulationMain.String(), rwm))
+	}
+	return sum, nil
+}
+
+// generateCore is the single generation engine behind Generate and
+// GenerateStream. It calls onPipe once per pipe in registry order (with the
+// pipe's frailty and true final-year rate), then onFailure for each of that
+// pipe's recorded failures in sampling order, and returns the calibrated
+// hazard plus the pre-noise failure count.
+//
+// Determinism contract: each randomness consumer draws from its own split
+// RNG stream (pipe attributes, frailties, failure sampling, recording
+// noise), so interleaving the draws per pipe yields the exact per-stream
+// sequences the original collect-then-sample implementation produced. The
+// calibration pass replays the pipe and frailty streams from fresh
+// identically-seeded RNGs instead of keeping pipes in memory.
+func generateCore(cfg Config,
+	onPipe func(i int, p *dataset.Pipe, frailty, finalYearRate float64) error,
+	onFailure func(f *dataset.Failure) error,
+) (HazardParams, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return HazardParams{}, 0, err
+	}
 	rng := stats.NewRNG(cfg.Seed)
 	pipeRNG := rng.Split()
 	frailtyRNG := rng.Split()
 	failRNG := rng.Split()
 	noiseRNG := rng.Split()
 
-	zones := newSoilZones(rng.Split(), cfg.SoilZones)
+	zones := newSoilZonesConfig(rng.Split(), cfg)
 	sideM := math.Sqrt(cfg.AreaKM2) * 1000
-
-	pipes := make([]dataset.Pipe, cfg.NumPipes)
-	for i := range pipes {
-		pipes[i] = genPipe(cfg, pipeRNG, zones, sideM, i)
-	}
-
-	truth := &Truth{
-		Frailty:       make([]float64, cfg.NumPipes),
-		FinalYearRate: make([]float64, cfg.NumPipes),
-	}
-	for i := range truth.Frailty {
-		truth.Frailty[i] = frailtyRNG.LogNormal(0, cfg.Hazard.FrailtySigma)
-	}
 
 	// Calibration pass: compute the expected failure count under the
 	// configured hazard, then rescale so the expectation matches the
 	// preset's target (if one is set).
 	hz := cfg.Hazard
 	if cfg.TargetFailures > 0 {
+		crng := stats.NewRNG(cfg.Seed)
+		cPipeRNG := crng.Split()
+		cFrailtyRNG := crng.Split()
 		expected := 0.0
-		for i := range pipes {
-			for year := firstActiveYear(&pipes[i], cfg); year <= cfg.ObservedTo; year++ {
-				r, err := hz.AnnualRate(&pipes[i], year, truth.Frailty[i])
+		for i := 0; i < cfg.NumPipes; i++ {
+			p := genPipe(cfg, cPipeRNG, zones, sideM, i)
+			frailty := cFrailtyRNG.LogNormal(0, cfg.Hazard.FrailtySigma)
+			for year := firstActiveYear(&p, cfg); year <= cfg.ObservedTo; year++ {
+				r, err := cfg.Hazard.AnnualRate(&p, year, frailty)
 				if err != nil {
-					return nil, nil, err
+					return HazardParams{}, 0, err
 				}
 				expected += r
 			}
 		}
 		expected *= 1 - cfg.MissProb
 		if expected <= 0 {
-			return nil, nil, fmt.Errorf("synthetic: zero expected failures; cannot calibrate to %d", cfg.TargetFailures)
+			return HazardParams{}, 0, fmt.Errorf("synthetic: zero expected failures; cannot calibrate to %d", cfg.TargetFailures)
 		}
 		hz.GlobalRate *= float64(cfg.TargetFailures) / expected
 	}
-	truth.CalibratedHazard = hz
 
-	var failures []dataset.Failure
-	for i := range pipes {
-		p := &pipes[i]
-		for year := firstActiveYear(p, cfg); year <= cfg.ObservedTo; year++ {
-			rate, err := hz.AnnualRate(p, year, truth.Frailty[i])
+	trueFailures := 0
+	var buf []dataset.Failure // per-pipe scratch, reused across pipes
+	for i := 0; i < cfg.NumPipes; i++ {
+		p := genPipe(cfg, pipeRNG, zones, sideM, i)
+		frailty := frailtyRNG.LogNormal(0, cfg.Hazard.FrailtySigma)
+		finalRate := 0.0
+		buf = buf[:0]
+		for year := firstActiveYear(&p, cfg); year <= cfg.ObservedTo; year++ {
+			rate, err := hz.AnnualRate(&p, year, frailty)
 			if err != nil {
-				return nil, nil, err
+				return HazardParams{}, 0, err
 			}
 			if year == cfg.ObservedTo {
-				truth.FinalYearRate[i] = rate
+				finalRate = rate
 			}
 			// Cap pathological rates: no pipe plausibly averages more than
 			// one event per segment per year.
@@ -97,7 +246,7 @@ func Generate(cfg Config) (*dataset.Network, *Truth, error) {
 			}
 			n := failRNG.Poisson(rate)
 			for e := 0; e < n; e++ {
-				truth.TrueFailures++
+				trueFailures++
 				if noiseRNG.Bernoulli(cfg.MissProb) {
 					continue // event happened but was never recorded
 				}
@@ -105,7 +254,7 @@ func Generate(cfg Config) (*dataset.Network, *Truth, error) {
 				if failRNG.Bernoulli(0.3) {
 					mode = dataset.ModeLeak
 				}
-				failures = append(failures, dataset.Failure{
+				buf = append(buf, dataset.Failure{
 					PipeID:  p.ID,
 					Segment: failRNG.Intn(p.Segments),
 					Year:    year,
@@ -114,13 +263,16 @@ func Generate(cfg Config) (*dataset.Network, *Truth, error) {
 				})
 			}
 		}
+		if err := onPipe(i, &p, frailty, finalRate); err != nil {
+			return HazardParams{}, 0, err
+		}
+		for e := range buf {
+			if err := onFailure(&buf[e]); err != nil {
+				return HazardParams{}, 0, err
+			}
+		}
 	}
-
-	net := dataset.NewNetwork(cfg.Region, cfg.ObservedFrom, cfg.ObservedTo, pipes, failures)
-	if err := net.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("synthetic: generated network invalid: %w", err)
-	}
-	return net, truth, nil
+	return hz, trueFailures, nil
 }
 
 func firstActiveYear(p *dataset.Pipe, cfg Config) int {
@@ -132,7 +284,13 @@ func firstActiveYear(p *dataset.Pipe, cfg Config) int {
 
 func genPipe(cfg Config, rng *stats.RNG, zones *soilZones, sideM float64, i int) dataset.Pipe {
 	var p dataset.Pipe
-	p.ID = fmt.Sprintf("%s-%06d", cfg.Region, i)
+	if cfg.Districts > 0 {
+		// Hierarchical topology: contiguous ID blocks per district, so IDs
+		// stay lexicographically ordered by registry row.
+		p.ID = fmt.Sprintf("%s-D%03d-%07d", cfg.Region, districtOf(i, cfg), i)
+	} else {
+		p.ID = fmt.Sprintf("%s-%06d", cfg.Region, i)
+	}
 
 	// Laid year: skewed toward the past for LaidSkew > 1.
 	span := float64(cfg.LaidTo - cfg.LaidFrom)
@@ -178,9 +336,20 @@ func genPipe(cfg Config, rng *stats.RNG, zones *soilZones, sideM float64, i int)
 
 	p.Coating = genCoating(rng, p.Material)
 
-	// Location and spatially coherent soil.
-	p.X = rng.Uniform(0, sideM)
-	p.Y = rng.Uniform(0, sideM)
+	// Location and spatially coherent soil. With districts configured the
+	// network is laid out as a grid of district cells (each district's
+	// pipes cluster spatially, like the service areas of a national
+	// utility); otherwise pipes scatter uniformly over the region.
+	if cfg.Districts > 0 {
+		g := districtGridSize(cfg.Districts)
+		d := districtOf(i, cfg)
+		cellM := sideM / float64(g)
+		p.X = (float64(d%g) + rng.Float64()) * cellM
+		p.Y = (float64(d/g) + rng.Float64()) * cellM
+	} else {
+		p.X = rng.Uniform(0, sideM)
+		p.Y = rng.Uniform(0, sideM)
+	}
 	soil := zones.at(p.X/sideM, p.Y/sideM)
 	p.SoilCorrosivity = soil.corrosivity
 	p.SoilExpansivity = soil.expansivity
@@ -189,6 +358,22 @@ func genPipe(cfg Config, rng *stats.RNG, zones *soilZones, sideM float64, i int)
 
 	p.DistToTrafficM = rng.Exp(1 / cfg.MeanTrafficDistM)
 	return p
+}
+
+// districtOf assigns pipe i to a district as a contiguous block of the
+// registry (no RNG draw, so legacy draw sequences are untouched).
+func districtOf(i int, cfg Config) int {
+	return i * cfg.Districts / cfg.NumPipes
+}
+
+// districtGridSize returns the side of the smallest square grid holding n
+// district cells.
+func districtGridSize(n int) int {
+	g := int(math.Ceil(math.Sqrt(float64(n))))
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 func genCoating(rng *stats.RNG, m dataset.Material) dataset.Coating {
@@ -234,18 +419,74 @@ type soilCell struct {
 	corrosivity, expansivity, geology, soilMap string
 }
 
+// Base categorical weights of the soil factor fields.
+var (
+	soilCorrW = []float64{0.3, 0.4, 0.2, 0.1}
+	soilExpW  = []float64{0.35, 0.3, 0.25, 0.1}
+	soilGeoW  = []float64{0.35, 0.25, 0.2, 0.15, 0.05}
+	soilMapW  = []float64{0.2, 0.25, 0.25, 0.25, 0.05}
+)
+
+// newSoilZonesConfig picks the flat or climate-correlated zone generator
+// from the configuration. The flat path draws exactly the sequence the
+// pre-climate generator did, keeping legacy presets bit-identical.
+func newSoilZonesConfig(rng *stats.RNG, cfg Config) *soilZones {
+	if cfg.ClimateZones > 0 {
+		return newSoilZonesHier(rng, cfg.SoilZones, cfg.ClimateZones)
+	}
+	return newSoilZones(rng, cfg.SoilZones)
+}
+
 func newSoilZones(rng *stats.RNG, n int) *soilZones {
 	z := &soilZones{n: n, cells: make([]soilCell, n*n)}
-	corrW := []float64{0.3, 0.4, 0.2, 0.1}
-	expW := []float64{0.35, 0.3, 0.25, 0.1}
-	geoW := []float64{0.35, 0.25, 0.2, 0.15, 0.05}
-	mapW := []float64{0.2, 0.25, 0.25, 0.25, 0.05}
 	for i := range z.cells {
 		z.cells[i] = soilCell{
-			corrosivity: dataset.SoilCorrosivityLevels[rng.Categorical(corrW)],
-			expansivity: dataset.SoilExpansivityLevels[rng.Categorical(expW)],
-			geology:     dataset.SoilGeologyLevels[rng.Categorical(geoW)],
-			soilMap:     dataset.SoilMapLevels[rng.Categorical(mapW)],
+			corrosivity: dataset.SoilCorrosivityLevels[rng.Categorical(soilCorrW)],
+			expansivity: dataset.SoilExpansivityLevels[rng.Categorical(soilExpW)],
+			geology:     dataset.SoilGeologyLevels[rng.Categorical(soilGeoW)],
+			soilMap:     dataset.SoilMapLevels[rng.Categorical(soilMapW)],
+		}
+	}
+	return z
+}
+
+// newSoilZonesHier layers a coarse climate grid over the fine soil grid:
+// each climate cell draws a dominant level per soil factor from the base
+// weights, and the soil cells inside it draw from the base weights with the
+// dominant level boosted. Soil stays locally varied but is correlated
+// across whole climate zones — the nation-scale analogue of regional soil
+// maps (cf. the hierarchical topology generators used for national network
+// synthesis).
+func newSoilZonesHier(rng *stats.RNG, n, climate int) *soilZones {
+	// climateBoost concentrates a zone's soil draws on its dominant level
+	// without eliminating local variation.
+	const climateBoost = 4.0
+	type climCell struct {
+		corr, exp, geo, soilMap int
+	}
+	clim := make([]climCell, climate*climate)
+	for i := range clim {
+		clim[i] = climCell{
+			corr:    rng.Categorical(soilCorrW),
+			exp:     rng.Categorical(soilExpW),
+			geo:     rng.Categorical(soilGeoW),
+			soilMap: rng.Categorical(soilMapW),
+		}
+	}
+	boost := func(base []float64, dominant int) []float64 {
+		w := append([]float64(nil), base...)
+		w[dominant] *= climateBoost
+		return w
+	}
+	z := &soilZones{n: n, cells: make([]soilCell, n*n)}
+	for i := range z.cells {
+		a, b := i/n, i%n
+		c := clim[(a*climate/n)*climate+(b*climate/n)]
+		z.cells[i] = soilCell{
+			corrosivity: dataset.SoilCorrosivityLevels[rng.Categorical(boost(soilCorrW, c.corr))],
+			expansivity: dataset.SoilExpansivityLevels[rng.Categorical(boost(soilExpW, c.exp))],
+			geology:     dataset.SoilGeologyLevels[rng.Categorical(boost(soilGeoW, c.geo))],
+			soilMap:     dataset.SoilMapLevels[rng.Categorical(boost(soilMapW, c.soilMap))],
 		}
 	}
 	return z

@@ -64,6 +64,17 @@ type Config struct {
 	// the published failure counts. When scaling a Config down with Scaled,
 	// the target is scaled with it.
 	TargetFailures int
+	// Districts, when positive, lays the network out hierarchically: pipes
+	// are assigned to districts in contiguous registry blocks, IDs gain a
+	// district component, and each district's pipes cluster in their own
+	// spatial cell. 0 keeps the flat single-region layout (and the exact
+	// RNG draw sequence) of the metropolitan presets.
+	Districts int
+	// ClimateZones, when positive, overlays a coarse climate grid on the
+	// soil-zone grid so soil factors correlate across whole zones instead
+	// of varying cell-by-cell — the structure nation-scale networks have.
+	// 0 keeps the flat independent soil cells of the metropolitan presets.
+	ClimateZones int
 }
 
 // Validate checks the configuration for obvious inconsistencies.
@@ -91,6 +102,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("synthetic: MissProb %v out of [0,1)", c.MissProb)
 	case c.LaidSkew <= 0:
 		return fmt.Errorf("synthetic: LaidSkew %v must be positive", c.LaidSkew)
+	case c.Districts < 0:
+		return fmt.Errorf("synthetic: Districts %d must be non-negative", c.Districts)
+	case c.ClimateZones < 0:
+		return fmt.Errorf("synthetic: ClimateZones %d must be non-negative", c.ClimateZones)
 	}
 	for i := 1; i < len(c.Eras); i++ {
 		if c.Eras[i].FromYear <= c.Eras[i-1].FromYear {
@@ -195,7 +210,8 @@ func RegionC(seed int64) Config {
 	}
 }
 
-// Preset returns the named region preset ("A", "B" or "C").
+// Preset returns the named preset: the paper's metropolitan regions ("A",
+// "B" or "C") or the nation-scale stress presets ("metro", "nation").
 func Preset(name string, seed int64) (Config, error) {
 	switch name {
 	case "A":
@@ -204,8 +220,12 @@ func Preset(name string, seed int64) (Config, error) {
 		return RegionB(seed), nil
 	case "C":
 		return RegionC(seed), nil
+	case "metro":
+		return Metro(seed), nil
+	case "nation":
+		return Nation(seed), nil
 	default:
-		return Config{}, fmt.Errorf("synthetic: unknown region preset %q (want A, B or C)", name)
+		return Config{}, fmt.Errorf("synthetic: unknown region preset %q (want A, B, C, metro or nation)", name)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/colfmt"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
@@ -69,17 +70,37 @@ func GenerateRegion(name string, seed int64, scale float64) (*Network, error) {
 	return net, err
 }
 
-// LoadNetwork reads a network from a directory written by SaveNetwork
-// (pipes.csv, failures.csv, meta.csv) and validates it.
-func LoadNetwork(dir string) (*Network, error) { return dataset.LoadDir(dir) }
+// LoadNetwork reads a network from a dataset path in either on-disk format
+// — the PCOL columnar file (a bare .col file, or a directory holding
+// dataset.col) or the CSV trio written by SaveNetwork — and validates it.
+// The result is always a materialized row-oriented network; large columnar
+// datasets that only need training should go through OpenData instead,
+// which keeps the registry in columnar form.
+func LoadNetwork(dir string) (*Network, error) {
+	d, err := colfmt.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return d.Network()
+}
 
 // SaveNetwork writes a network to a directory as CSV.
 func SaveNetwork(net *Network, dir string) error { return dataset.SaveDir(net, dir) }
 
+// Data is a loaded dataset behind either on-disk format (CSV trio or PCOL
+// columnar). Columnar-backed Data feeds the feature pipeline straight from
+// its column arrays without ever materializing per-pipe structs.
+type Data = colfmt.Data
+
+// OpenData loads the dataset at path with format sniffing: a regular file
+// is read as PCOL columnar, a directory prefers dataset.col over the CSV
+// trio. Pair it with NewPipelineData for the one-pass training path.
+func OpenData(path string) (*Data, error) { return colfmt.Open(path) }
+
 // Pipeline binds a network to a temporal split and a fitted feature
 // encoding, and trains models against it.
 type Pipeline struct {
-	net   *Network
+	data  *Data
 	split Split
 	seed  int64
 
@@ -132,6 +153,20 @@ func NewPipeline(net *Network, opts ...PipelineOption) (*Pipeline, error) {
 	if net == nil {
 		return nil, fmt.Errorf("pipefail: nil network")
 	}
+	return NewPipelineData(colfmt.FromNetworkData(net), opts...)
+}
+
+// NewPipelineData is NewPipeline over a loaded Data handle. For
+// columnar-backed data this is the million-pipe fast path: the feature
+// matrices fill straight from the column arrays with no intermediate
+// per-pipe structs. The default split follows the paper's protocol (all
+// observed years but the last for training); note that for columnar data
+// the split carries no *Network, so Split helpers that need one
+// (TrainFailures, TestLabels) are unavailable unless WithSplit supplies it.
+func NewPipelineData(data *Data, opts ...PipelineOption) (*Pipeline, error) {
+	if data == nil {
+		return nil, fmt.Errorf("pipefail: nil data")
+	}
 	cfg := pipelineConfig{seed: 1}
 	for _, o := range opts {
 		o(&cfg)
@@ -140,13 +175,13 @@ func NewPipeline(net *Network, opts ...PipelineOption) (*Pipeline, error) {
 	if cfg.split != nil {
 		split = *cfg.split
 	} else {
-		var err error
-		split, err = dataset.PaperSplit(net)
-		if err != nil {
-			return nil, fmt.Errorf("pipefail: %w", err)
+		from, to := data.ObservedFrom(), data.ObservedTo()
+		if to-1 < from {
+			return nil, fmt.Errorf("pipefail: observation window [%d, %d] leaves no training years before the held-out year", from, to)
 		}
+		split = Split{TrainFrom: from, TrainTo: to - 1, TestYear: to}
 	}
-	b, err := feature.NewBuilder(net, feature.Options{Groups: cfg.groups, Standardize: true})
+	b, err := feature.NewBuilderFromSource(data.Source(), feature.Options{Groups: cfg.groups, Standardize: true})
 	if err != nil {
 		return nil, fmt.Errorf("pipefail: %w", err)
 	}
@@ -159,7 +194,7 @@ func NewPipeline(net *Network, opts ...PipelineOption) (*Pipeline, error) {
 		return nil, fmt.Errorf("pipefail: %w", err)
 	}
 	return &Pipeline{
-		net: net, split: split, seed: cfg.seed,
+		data: data, split: split, seed: cfg.seed,
 		builder: b, train: train, test: test,
 		reg: experiments.NewRegistry(cfg.seed, cfg.esGens),
 	}, nil
@@ -217,10 +252,9 @@ func (p *Pipeline) TrainAndRank(modelName string) (*Ranking, error) {
 }
 
 func (p *Pipeline) rankingFromScores(model string, scores []float64) *Ranking {
-	pipes := p.net.Pipes()
 	r := &Ranking{Model: model, TestYear: p.split.TestYear}
 	for row, idx := range p.test.PipeIdx {
-		r.PipeIDs = append(r.PipeIDs, pipes[idx].ID)
+		r.PipeIDs = append(r.PipeIDs, p.data.PipeID(idx))
 		r.Scores = append(r.Scores, scores[row])
 		r.Failed = append(r.Failed, p.test.Label[row])
 		r.LengthM = append(r.LengthM, p.test.LengthM[row])

@@ -3,8 +3,10 @@ package pipefail
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"testing"
 
+	"repro/internal/colfmt"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -215,5 +217,69 @@ func TestPipelineOptions(t *testing.T) {
 	}
 	if _, err := custom.Train("bogus"); err == nil {
 		t.Fatal("unknown model must error")
+	}
+}
+
+// TestPipelineDataColumnarMatchesNetwork pins the cross-format contract at
+// the facade level: a pipeline fed by a sniffed columnar dataset must rank
+// exactly like one fed the in-memory network the dataset came from.
+func TestPipelineDataColumnarMatchesNetwork(t *testing.T) {
+	net := testNet(t)
+	dir := filepath.Join(t.TempDir(), "net")
+	if err := SaveNetwork(net, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Convert the CSV directory to a columnar one.
+	d, err := OpenData(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := d.Columnar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colDir := filepath.Join(t.TempDir(), "col")
+	if err := SaveNetwork(net, colDir); err != nil { // reuse dir creation
+		t.Fatal(err)
+	}
+	if err := colfmt.WriteFile(filepath.Join(colDir, colfmt.DatasetFile), col); err != nil {
+		t.Fatal(err)
+	}
+
+	dCol, err := OpenData(colDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dCol.Format != colfmt.FormatColumnar {
+		t.Fatalf("sniffer chose %q for a dataset.col directory", dCol.Format)
+	}
+
+	pNet, err := NewPipeline(net, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCol, err := NewPipelineData(dCol, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNet.Split() != pCol.Split() {
+		t.Fatalf("default splits differ: %+v vs %+v", pNet.Split(), pCol.Split())
+	}
+	rNet, err := pNet.TrainAndRank("RankSVM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCol, err := pCol.TrainAndRank("RankSVM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNet.AUC() != rCol.AUC() {
+		t.Fatalf("AUC differs across formats: %v vs %v", rNet.AUC(), rCol.AUC())
+	}
+	if !reflect.DeepEqual(rNet.PipeIDs, rCol.PipeIDs) {
+		t.Fatal("ranking order differs across formats")
+	}
+	if !reflect.DeepEqual(rNet.Scores, rCol.Scores) {
+		t.Fatal("scores differ across formats")
 	}
 }
