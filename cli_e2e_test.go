@@ -682,3 +682,112 @@ func TestServeMetricsDisabled(t *testing.T) {
 		t.Fatalf("healthz should stay up without metrics, got %d", status)
 	}
 }
+
+// TestServeMultiRegionEndToEnd drives the sharded registry through the
+// real binary: two pipegen datasets served as region shards, the admin
+// view, region-scoped routing, and a streamed bulk request whose line
+// payloads must match the single-region responses byte for byte.
+func TestServeMultiRegionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	dirA := filepath.Join(t.TempDir(), "regionA")
+	dirB := filepath.Join(t.TempDir(), "regionB")
+	runCmd(t, bins["pipegen"], "-region", "A", "-seed", "3", "-scale", "0.04", "-out", dirA)
+	runCmd(t, bins["pipegen"], "-region", "B", "-seed", "4", "-scale", "0.04", "-out", dirB)
+
+	p := startPipeserve(t, bins["pipeserve"], "-data", dirA, "-data", dirB)
+
+	code, body := serveRequest(t, "GET", p.base+"/api/regions", "")
+	if code != 200 {
+		t.Fatalf("regions: %d: %s", code, body)
+	}
+	var regions []struct {
+		Region string `json:"region"`
+		Pipes  int    `json:"pipes"`
+	}
+	if err := json.Unmarshal(body, &regions); err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 || regions[0].Region != "A" || regions[1].Region != "B" {
+		t.Fatalf("regions %+v, want A then B", regions)
+	}
+
+	code, body = serveRequest(t, "GET", p.base+"/api/network?region=B", "")
+	if code != 200 || !strings.Contains(string(body), `"region":"B"`) {
+		t.Fatalf("network?region=B: %d: %s", code, body)
+	}
+
+	// Bulk rank over real HTTP: NDJSON framing, request-order lines,
+	// payloads byte-identical to the standalone endpoint per region.
+	req, err := http.NewRequest("POST", p.base+"/api/bulk/rank",
+		strings.NewReader(`{"model":"Heuristic-Age","top":5,"regions":["B","A"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("bulk rank: %d %v: %s", resp.StatusCode, err, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("bulk Content-Type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bulk lines %d: %s", len(lines), raw)
+	}
+	for i, wantRegion := range []string{"B", "A"} {
+		var line struct {
+			Region  string          `json:"region"`
+			Ranking json.RawMessage `json:"ranking"`
+			Error   string          `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &line); err != nil {
+			t.Fatalf("bad bulk line %q: %v", lines[i], err)
+		}
+		if line.Region != wantRegion || line.Error != "" {
+			t.Fatalf("line %d: %+v, want clean region %s", i, line, wantRegion)
+		}
+		code, single := serveRequest(t, "GET",
+			p.base+"/api/models/Heuristic-Age/ranking?top=5&region="+wantRegion, "")
+		if code != 200 {
+			t.Fatalf("single ranking %s: %d", wantRegion, code)
+		}
+		if want := strings.TrimSuffix(string(single), "\n"); string(line.Ranking) != want {
+			t.Fatalf("region %s: bulk payload diverges\nbulk:   %s\nsingle: %s",
+				wantRegion, line.Ranking, want)
+		}
+	}
+
+	p.cmd.Process.Signal(os.Interrupt)
+	if code := p.waitExit(t, 30*time.Second); code != 0 {
+		t.Fatalf("exit code %d; stderr:\n%s", code, p.stderr())
+	}
+}
+
+// TestServeDuplicateRegionFailsFast: serving the same dataset twice
+// must be a startup error, not a silently merged registry.
+func TestServeDuplicateRegionFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	dir := filepath.Join(t.TempDir(), "regionA")
+	runCmd(t, bins["pipegen"], "-region", "A", "-seed", "3", "-scale", "0.04", "-out", dir)
+
+	cmd := exec.Command(bins["pipeserve"], "-data", dir, "-data", dir, "-addr", "127.0.0.1:0")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if err == nil || !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("duplicate -data inputs: err %v (output %s), want exit 1", err, out)
+	}
+	if !strings.Contains(string(out), `duplicate region "A"`) {
+		t.Fatalf("startup log %s missing the duplicate-region error", out)
+	}
+}

@@ -1,37 +1,57 @@
-// Command pipeserve runs the HTTP risk service over a network: rankings,
-// per-pipe risk lookups, and budget-constrained inspection plans as JSON.
+// Command pipeserve runs the HTTP risk service over one or more regional
+// networks: rankings, per-pipe risk lookups, and budget-constrained
+// inspection plans as JSON, plus streamed NDJSON bulk endpoints that fan
+// one request across every region shard.
 //
 // Usage:
 //
 //	pipeserve -data data/regionA -addr :8080
-//	pipeserve -region B -scale 0.25 -addr :8080     # synthetic network
+//	pipeserve -data data/regionA -data data/regionB   # one shard per dataset
+//	pipeserve -data data/nation -shards 8             # split one dataset by district
+//	pipeserve -region B -scale 0.25 -addr :8080       # synthetic network
 //
 // -data accepts any dataset layout the loader sniffs: a CSV directory, a
-// columnar directory (dataset.col), or a bare .col file.
+// columnar directory (dataset.col), or a bare .col file. It is
+// repeatable: each path becomes an isolated region shard with its own
+// models and response cache. Alternatively -shards N splits a single
+// district-structured dataset into N contiguous-district region shards.
+// Duplicate region names across inputs are a startup error.
 //
 // Endpoints:
 //
 //	GET  /healthz   (liveness: 200 while the process runs)
 //	GET  /readyz    (readiness: 503 once shutdown begins)
 //	GET  /api/network
+//	GET  /api/regions
 //	GET  /api/models
 //	POST /api/models/{name}/train
 //	GET  /api/models/{name}/ranking?top=N
 //	GET  /api/pipes/{id}
-//	POST /api/plan  {"model": "...", "budget_km": 10}
+//	POST /api/plan       {"model": "...", "budget_km": 10}
+//	POST /api/bulk/rank  {"regions": [...], "pipe_ids": [...], "top": N}  → NDJSON stream
+//	POST /api/bulk/plan  {"regions": [...], "budget_km": 10}              → NDJSON stream
 //	GET  /metrics   (JSON metrics snapshot; disable with -metrics=false)
 //
+// Region-scoped GET endpoints take ?region=NAME; without it the first
+// shard answers, so single-region deployments are unchanged.
+//
 // Ranking, cohort and hotspot responses are served from an in-memory
-// encoded-response cache (size via -cache-mb) with strong ETags;
-// clients sending If-None-Match get 304 Not-Modified.
+// encoded-response cache (global budget via -cache-mb, partitioned
+// across shards) with strong ETags; clients sending If-None-Match get
+// 304 Not-Modified.
+//
+// -rebuild-interval starts the background rebuild scheduler: shards
+// with no trained default model, or snapshots older than the interval,
+// retrain in the background (at most -rebuild-workers at once) and
+// publish atomically without blocking reads.
 //
 // Resilience: SIGINT/SIGTERM triggers a graceful shutdown — readiness
-// flips to 503, in-flight training is cancelled, open connections drain
-// (bounded by -drain-timeout) and the process exits 0. -max-inflight
-// sheds requests past a concurrency cap with 503 + Retry-After;
-// -request-timeout bounds each API request. With -state-dir, trained
-// linear models persist across restarts and are served warm on boot
-// (see DESIGN.md, "Failure modes & resilience").
+// flips to 503, in-flight training and scheduled rebuilds are
+// cancelled, open connections drain (bounded by -drain-timeout) and the
+// process exits 0. -max-inflight sheds requests past a concurrency cap
+// with 503 + Retry-After; -request-timeout bounds each API request.
+// With -state-dir, trained linear models persist across restarts and
+// are served warm on boot (see DESIGN.md, "Failure modes & resilience").
 package main
 
 import (
@@ -43,12 +63,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/dataset"
 	"repro/internal/serve"
 )
+
+// multiFlag collects a repeatable string flag (-data a -data b).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	os.Exit(run())
@@ -61,7 +89,11 @@ func run() int {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("pipeserve: ")
 
-	data := flag.String("data", "", "dataset path: CSV directory, columnar directory or .col file")
+	var data multiFlag
+	flag.Var(&data, "data", "dataset path: CSV directory, columnar directory or .col file (repeatable: one region shard per path)")
+	shards := flag.Int("shards", 1, "split a single district-structured dataset into this many region shards")
+	rebuildInterval := flag.Duration("rebuild-interval", 0, "background rebuild scheduler period, e.g. 10m (0 = off)")
+	rebuildWorkers := flag.Int("rebuild-workers", 2, "max concurrent scheduled rebuilds (0 = GOMAXPROCS)")
 	region := flag.String("region", "A", "synthetic region preset when -data is unset")
 	seed := flag.Int64("seed", 1, "generator / learner seed")
 	scale := flag.Float64("scale", 0.25, "synthetic region scale")
@@ -78,20 +110,43 @@ func run() int {
 		return 1
 	}
 
-	var network *pipefail.Network
-	var err error
-	if *data != "" {
-		network, err = pipefail.LoadNetwork(*data)
+	var networks []*pipefail.Network
+	if len(data) > 0 {
+		for _, path := range data {
+			network, err := pipefail.LoadNetwork(path)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			networks = append(networks, network)
+		}
 	} else {
-		network, err = pipefail.GenerateRegion(*region, *seed, *scale)
+		network, err := pipefail.GenerateRegion(*region, *seed, *scale)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		networks = append(networks, network)
 	}
-	if err != nil {
-		log.Print(err)
-		return 1
+	if *shards > 1 {
+		if len(networks) != 1 {
+			log.Printf("-shards needs exactly one dataset, got %d", len(networks))
+			return 1
+		}
+		split, err := dataset.SplitDistricts(networks[0], *shards)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		networks = split
 	}
-	log.Printf("serving region %s: %d pipes, %d failures", network.Region, network.NumPipes(), network.NumFailures())
+	for _, network := range networks {
+		log.Printf("serving region %s: %d pipes, %d failures", network.Region, network.NumPipes(), network.NumFailures())
+	}
 
-	s, err := serve.New(network, log.Default(), pipefail.WithSeed(*seed))
+	// NewMulti fails fast on duplicate region names across -data inputs —
+	// a silent last-write-wins registry would serve the wrong data.
+	s, err := serve.NewMulti(networks, log.Default(), pipefail.WithSeed(*seed))
 	if err != nil {
 		log.Print(err)
 		return 1
@@ -105,6 +160,9 @@ func run() int {
 		log.Print(err)
 		return 1
 	}
+	// After SetStateDir so warm-restored snapshots count as freshly
+	// built and the first pass does not immediately retrain them.
+	s.StartRebuildScheduler(*rebuildInterval, *rebuildWorkers)
 	handler := s.Handler()
 	if !*metrics {
 		handler = withoutMetrics(handler)

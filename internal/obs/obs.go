@@ -314,3 +314,38 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	}
 	return nil
 }
+
+// SanitizeMetricName folds an arbitrary label value (a region name, a
+// dataset identifier) into the metric naming convention: lower-case
+// [a-z0-9_] runs, with every other character collapsed to a single
+// underscore and edge underscores trimmed. An empty or fully-invalid
+// input becomes "_" so callers always get a usable segment. Distinct
+// inputs can collide ("A/B" and "a.b" both sanitize to "a_b"); callers
+// that need uniqueness must ensure their raw labels differ in
+// alphanumerics, which region names in practice do.
+func SanitizeMetricName(label string) string {
+	var b []byte
+	pendingSep := false
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		default:
+			if len(b) > 0 {
+				pendingSep = true
+			}
+			continue
+		}
+		if pendingSep {
+			b = append(b, '_')
+			pendingSep = false
+		}
+		b = append(b, c)
+	}
+	if len(b) == 0 {
+		return "_"
+	}
+	return string(b)
+}

@@ -227,3 +227,22 @@ func BenchmarkSnapshot(b *testing.B) {
 		}
 	}
 }
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"A", "a"},
+		{"metro", "metro"},
+		{"METRO/s01", "metro_s01"},
+		{"Region B", "region_b"},
+		{"a--b..c", "a_b_c"},   // runs collapse to one separator
+		{"--edge--", "edge"},   // leading/trailing separators trim
+		{"..", "_"},            // nothing usable
+		{"", "_"},
+		{"x9", "x9"},
+	}
+	for _, tc := range cases {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -277,3 +277,26 @@ func (c *Cache) Keys() []string {
 	}
 	return out
 }
+
+// PartitionBudget splits a global byte budget into n per-cache shares:
+// equal division with the remainder going to the first share, and every
+// share at least 1 byte so a partitioned New never hits the
+// non-positive-budget panic even when a tiny budget meets many shards
+// (a 1-byte cache holds nothing but stays well-formed).
+func PartitionBudget(total int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	shares := make([]int64, n)
+	each := total / int64(n)
+	if each < 1 {
+		each = 1
+	}
+	for i := range shares {
+		shares[i] = each
+	}
+	if rem := total - each*int64(n); rem > 0 {
+		shares[0] += rem
+	}
+	return shares
+}

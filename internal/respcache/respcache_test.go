@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"reflect"
 	"repro/internal/obs"
 )
 
@@ -246,5 +247,32 @@ func TestAppendKeyFloatCanonical(t *testing.T) {
 	key := AppendKeyFloat([]byte("k\x00"), 3)
 	if string(key) != "k\x003" {
 		t.Fatalf("append result %q", key)
+	}
+}
+
+func TestPartitionBudget(t *testing.T) {
+	if got := PartitionBudget(100, 0); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+	if got := PartitionBudget(100, -1); got != nil {
+		t.Errorf("n<0: got %v, want nil", got)
+	}
+	if got := PartitionBudget(90, 3); !reflect.DeepEqual(got, []int64{30, 30, 30}) {
+		t.Errorf("even split: %v", got)
+	}
+	if got := PartitionBudget(100, 3); !reflect.DeepEqual(got, []int64{34, 33, 33}) {
+		t.Errorf("remainder to the first shard: %v", got)
+	}
+	// Sub-shard budgets still give every shard a constructible cache
+	// (respcache.New panics on a zero budget).
+	if got := PartitionBudget(2, 4); !reflect.DeepEqual(got, []int64{1, 1, 1, 1}) {
+		t.Errorf("minimum one byte each: %v", got)
+	}
+	var sum int64
+	for _, s := range PartitionBudget(101, 4) {
+		sum += s
+	}
+	if sum != 101 {
+		t.Errorf("budget not conserved: %d", sum)
 	}
 }

@@ -15,8 +15,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro"
+	"repro/internal/parallel"
 )
 
 // nopWriter discards the response body and reuses one header map across
@@ -105,5 +107,79 @@ func BenchmarkPlanHandlerCached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rb.rewind()
 		s.handlePlan(w, req)
+	}
+}
+
+// bulkBenchRequest builds a reusable POST /api/bulk/rank request.
+func bulkBenchRequest(body string) (*http.Request, *replayBody) {
+	rb := &replayBody{r: bytes.NewReader([]byte(body))}
+	req := httptest.NewRequest("POST", "/api/bulk/rank", nil)
+	req.Body = rb
+	return req, rb
+}
+
+// BenchmarkBulkRankCold measures the bulk miss path: the published
+// snapshot is hot but the response cache is defeated, so every request
+// pays the fan-out, the encode and the stream assembly.
+func BenchmarkBulkRankCold(b *testing.B) {
+	s := benchServer(b)
+	s.SetResponseCacheBytes(1) // every body is oversized: nothing caches
+	req, rb := bulkBenchRequest(`{"model":"Heuristic-Age","top":100}`)
+	w := &nopWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.rewind()
+		s.handleBulkRank(w, req)
+	}
+}
+
+// BenchmarkBulkRankCached measures the steady state the alloc gate
+// locks: phase 1 resolves every segment off the cache and the writer
+// splices the stored bytes — no goroutines, no channels, no heap.
+func BenchmarkBulkRankCached(b *testing.B) {
+	s := benchServer(b)
+	req, rb := bulkBenchRequest(`{"model":"Heuristic-Age","top":100}`)
+	w := &nopWriter{h: make(http.Header)}
+	rb.rewind()
+	s.handleBulkRank(w, req) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.rewind()
+		s.handleBulkRank(w, req)
+	}
+}
+
+// BenchmarkShardRebuildConcurrent measures one forced scheduler pass
+// over a two-shard registry with both models published: four retrains
+// fanned across the scheduler pool, each republishing atomically.
+func BenchmarkShardRebuildConcurrent(b *testing.B) {
+	netA, err := pipefail.GenerateRegion("A", 7, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	netB, err := pipefail.GenerateRegion("B", 8, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewMulti([]*pipefail.Network{netA, netB}, log.New(io.Discard, "", 0), pipefail.WithESGenerations(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, sh := range s.shards {
+		for _, name := range []string{string(s.defaultModel), "Heuristic-Age"} {
+			if _, err := s.getShard(ctx, sh, name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s.schedInterval = time.Hour // only force finds targets
+	s.schedPool = parallel.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.schedulerPass(true)
 	}
 }

@@ -1,0 +1,444 @@
+package serve
+
+// Bulk endpoints: POST /api/bulk/rank and POST /api/bulk/plan take many
+// regions (and, for rank, individual pipe IDs) in one request and
+// stream one NDJSON line per segment back, flushed as each resolves.
+//
+// The design goal is that bulk is a framing layer, never a second
+// implementation: region segments replay the exact cache entries the
+// single-region handlers write (shared appendRankingKey/appendPlanKey,
+// shared fill code), so a bulk line's payload is byte-identical to the
+// corresponding single call's body. Resolution runs in three phases:
+//
+//  1. serial: published snapshots + cache hits resolve inline — the
+//     all-cached path touches no goroutines, channels or heap;
+//  2. fan-out: misses (untrained models, evicted entries) fill
+//     concurrently on the server's worker pool through the same
+//     singleflight as everyone else, each closing a ready channel;
+//  3. ordered writer: lines stream in request order, waiting on each
+//     segment's ready channel, flushing per line — so early segments
+//     reach the client while late ones still train.
+//
+// Failures after the stream starts cannot become HTTP errors (the 200
+// is gone); they become per-segment {"error": ...} lines instead.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/respcache"
+)
+
+// ndjsonCT is the streamed bulk Content-Type, preallocated like jsonCT.
+var ndjsonCT = []string{"application/x-ndjson"}
+
+// bulkSeg is one output line in flight: a region segment (pipeID empty)
+// or a per-pipe segment. ready is nil when phase 1 resolved the segment
+// inline; otherwise the fill fan-out closes it once tm/entry/errMsg are
+// final.
+type bulkSeg struct {
+	sh     *shard
+	pipeID []byte // aliases the request body; empty for region segments
+	tm     *modelSnapshot
+	entry  respcache.Entry
+	errMsg string
+	ready  chan struct{}
+}
+
+// bulkScratch bundles the per-request scratch state so the steady state
+// recycles one pool object instead of three slices.
+type bulkScratch struct {
+	bf   bulkFields
+	segs []bulkSeg
+	line []byte
+}
+
+// release drops references into the request body and snapshots while
+// keeping slice capacity for the next request.
+func (sc *bulkScratch) release() {
+	sc.bf.reset()
+	for i := range sc.segs {
+		sc.segs[i] = bulkSeg{}
+	}
+	sc.segs = sc.segs[:0]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(bulkScratch) }}
+
+func (s *Server) handleBulkRank(w http.ResponseWriter, r *http.Request) {
+	s.serveBulk(w, r, false)
+}
+
+func (s *Server) handleBulkPlan(w http.ResponseWriter, r *http.Request) {
+	s.serveBulk(w, r, true)
+}
+
+func (s *Server) serveBulk(w http.ResponseWriter, r *http.Request, isPlan bool) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	sc := scratchPool.Get().(*bulkScratch)
+	s.streamBulk(w, r, buf, sc, isPlan)
+	// streamBulk has waited out every fill before returning, so nothing
+	// concurrent still aliases the body buffer or the segments.
+	sc.release()
+	scratchPool.Put(sc)
+	if buf.Cap() <= bufPoolMax {
+		bufPool.Put(buf)
+	}
+}
+
+func (s *Server) streamBulk(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, sc *bulkScratch, isPlan bool) {
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	data := buf.Bytes()
+	bf := &sc.bf
+	if !parseBulkFast(data, bf) {
+		bf.reset()
+		if err := decodeBulkSlow(data, bf); err != nil {
+			s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+
+	top := 50
+	if bf.hasTop {
+		if bf.top < 1 {
+			s.writeErr(w, http.StatusBadRequest, "bad top %d", bf.top)
+			return
+		}
+		top = bf.top
+	}
+	var (
+		cm plan.CostModel
+		b  plan.Budget
+	)
+	if isPlan {
+		if len(bf.pipeIDs) > 0 {
+			s.writeErr(w, http.StatusBadRequest, "pipe_ids are not supported on /api/bulk/plan")
+			return
+		}
+		var perr error
+		if cm, b, perr = planParams(&bf.plan); perr != nil {
+			s.writeErr(w, http.StatusBadRequest, "%v", perr)
+			return
+		}
+	}
+	model := bf.plan.model
+	if len(model) == 0 {
+		model = s.defaultModel
+	}
+	// Published-on-def is the allocation-free common case; knownModel
+	// (which walks the registry) only runs for models nobody trained yet.
+	if _, ok := (*s.def.models.Load())[string(model)]; !ok && !knownModel(string(model)) {
+		s.writeErr(w, http.StatusBadRequest, "unknown model %q", model)
+		return
+	}
+
+	// Segment list, in output order: named regions (request order), then
+	// pipe IDs (request order); with neither, every shard in fan-out
+	// order. Naming errors are still plain HTTP errors here — nothing
+	// has streamed yet.
+	if len(bf.regions) == 0 && len(bf.pipeIDs) == 0 {
+		for _, sh := range s.shards {
+			sc.segs = append(sc.segs, bulkSeg{sh: sh})
+		}
+	} else {
+		for _, reg := range bf.regions {
+			sh, ok := s.byRegion[string(reg)]
+			if !ok {
+				s.writeErr(w, http.StatusBadRequest, "unknown region %q", reg)
+				return
+			}
+			sc.segs = append(sc.segs, bulkSeg{sh: sh})
+		}
+		for _, id := range bf.pipeIDs {
+			sh, _, ok := s.findPipe(nil, string(id))
+			if !ok {
+				s.writeErr(w, http.StatusNotFound, "unknown pipe %q", id)
+				return
+			}
+			sc.segs = append(sc.segs, bulkSeg{sh: sh, pipeID: id})
+		}
+	}
+
+	// Phase 1: serial resolution off published snapshots and caches.
+	var miss []int
+	kp := keyPool.Get().(*[]byte)
+	key := (*kp)[:0]
+	for i := range sc.segs {
+		seg := &sc.segs[i]
+		tm, ok := (*seg.sh.models.Load())[string(model)]
+		if !ok {
+			seg.ready = make(chan struct{})
+			miss = append(miss, i)
+			continue
+		}
+		s.metrics.sfCached.Inc()
+		seg.tm = tm
+		if len(seg.pipeID) > 0 {
+			continue // pipe lines render straight off the snapshot
+		}
+		if isPlan {
+			if tm.calibrator == nil {
+				seg.errMsg = fmt.Sprintf("model %q has no calibrator; cannot price a plan", model)
+				s.metrics.bulkSegErrs.Inc()
+				continue
+			}
+			key = appendPlanKey(key[:0], model, cm, b)
+			if e, ok := seg.sh.cache.Get(key); ok {
+				s.metrics.planCacheHits.Inc()
+				seg.entry = e
+				continue
+			}
+		} else {
+			// Per-shard key: the canonical entry count clamps to each
+			// shard's own ranking length, exactly like the single path.
+			key = appendRankingKey(key[:0], model, len(tm.topEntries(top)))
+			if e, ok := seg.sh.cache.Get(key); ok {
+				seg.entry = e
+				continue
+			}
+		}
+		seg.ready = make(chan struct{})
+		miss = append(miss, i)
+	}
+	*kp = key
+	keyPool.Put(kp)
+
+	// Phase 2: misses fill concurrently. Each body closes its segment's
+	// ready channel as its final touch of shared state, so once phase 3
+	// has observed every channel, nothing still references the scratch.
+	if len(miss) > 0 {
+		ctx := r.Context()
+		modelName := string(model)
+		go s.pool.ForEachDynamic(len(miss), func(i int) {
+			seg := &sc.segs[miss[i]]
+			s.fillBulkSeg(ctx, seg, modelName, top, isPlan, cm, b)
+			close(seg.ready)
+		})
+	}
+
+	// Phase 3: ordered streaming writer. A client write failure stops
+	// writing but keeps draining ready channels — the scratch cannot be
+	// recycled while fills are in flight.
+	h := w.Header()
+	h["Content-Type"] = ndjsonCT
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	dead := false
+	line := sc.line
+	for i := range sc.segs {
+		seg := &sc.segs[i]
+		if seg.ready != nil {
+			<-seg.ready
+		}
+		if dead {
+			continue
+		}
+		line = s.appendBulkLine(line[:0], seg, model, isPlan)
+		if _, err := w.Write(line); err != nil {
+			s.log.Printf("serve: bulk write: %v", err)
+			dead = true
+			continue
+		}
+		s.metrics.bulkSegments.Inc()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sc.line = line
+}
+
+// fillBulkSeg resolves one miss segment: train (or join the in-flight
+// training of) the model through the shard singleflight, then fill the
+// shard's cache entry exactly as the single-region handler would. Every
+// failure becomes the segment's error line.
+func (s *Server) fillBulkSeg(ctx context.Context, seg *bulkSeg, model string, top int, isPlan bool, cm plan.CostModel, b plan.Budget) {
+	tm := seg.tm
+	if tm == nil {
+		var err error
+		if tm, err = s.getShard(ctx, seg.sh, model); err != nil {
+			seg.errMsg = err.Error()
+			s.metrics.bulkSegErrs.Inc()
+			return
+		}
+		seg.tm = tm
+	}
+	if len(seg.pipeID) > 0 {
+		return // pipe lines render straight off the snapshot
+	}
+	kp := keyPool.Get().(*[]byte)
+	key := (*kp)[:0]
+	if isPlan {
+		if tm.calibrator == nil {
+			seg.errMsg = fmt.Sprintf("model %q has no calibrator; cannot price a plan", model)
+			s.metrics.bulkSegErrs.Inc()
+		} else {
+			key = appendPlanKey(key, model, cm, b)
+			if e, ok := seg.sh.cache.Get(key); ok {
+				s.metrics.planCacheHits.Inc()
+				seg.entry = e
+			} else {
+				s.metrics.planCacheMisses.Inc()
+				e, _, err := s.buildPlanBody(tm, model, cm, b)
+				if err != nil {
+					seg.errMsg = err.Error()
+					s.metrics.bulkSegErrs.Inc()
+				} else {
+					seg.sh.cache.Add(key, e)
+					seg.entry = e
+				}
+			}
+		}
+	} else {
+		key = appendRankingKey(key, model, len(tm.topEntries(top)))
+		e, err := seg.sh.cache.GetOrFill(key, func() (respcache.Entry, error) {
+			body, err := encodeBody(tm.topEntries(top))
+			if err != nil {
+				return respcache.Entry{}, err
+			}
+			return respcache.Entry{Body: body, ETag: tm.etag}, nil
+		})
+		if err != nil {
+			seg.errMsg = err.Error()
+			s.metrics.bulkSegErrs.Inc()
+		} else {
+			seg.entry = e
+		}
+	}
+	*kp = key
+	keyPool.Put(kp)
+}
+
+// appendBulkLine renders one NDJSON line. Region lines splice the
+// cached single-call body verbatim (minus its trailing newline), so the
+// payload is byte-identical to the standalone endpoint's response.
+func (s *Server) appendBulkLine(line []byte, seg *bulkSeg, model []byte, isPlan bool) []byte {
+	if len(seg.pipeID) > 0 {
+		return s.appendPipeLine(line, seg, model)
+	}
+	line = append(line, `{"region":`...)
+	line = writeJSONString(line, seg.sh.region)
+	line = append(line, `,"model":`...)
+	line = writeJSONString(line, model)
+	if seg.errMsg != "" {
+		line = append(line, `,"error":`...)
+		line = writeJSONString(line, seg.errMsg)
+		return append(line, '}', '\n')
+	}
+	// The stored ETag is already a quoted strong validator, so it is
+	// spliced raw as a JSON string.
+	line = append(line, `,"etag":`...)
+	line = append(line, seg.entry.ETag...)
+	if isPlan {
+		line = append(line, `,"plan":`...)
+	} else {
+		line = append(line, `,"ranking":`...)
+	}
+	line = append(line, trimNL(seg.entry.Body)...)
+	return append(line, '}', '\n')
+}
+
+// appendPipeLine renders one per-pipe line off the snapshot's rank
+// index: two array reads, no scan, no encoder.
+func (s *Server) appendPipeLine(line []byte, seg *bulkSeg, model []byte) []byte {
+	line = append(line, `{"pipe_id":`...)
+	line = writeJSONString(line, seg.pipeID)
+	line = append(line, `,"region":`...)
+	line = writeJSONString(line, seg.sh.region)
+	line = append(line, `,"model":`...)
+	line = writeJSONString(line, model)
+	errMsg := seg.errMsg
+	if errMsg == "" {
+		if row, ok := seg.tm.rankIdx[string(seg.pipeID)]; ok {
+			e := &seg.tm.entries[seg.tm.rankOf[row]-1]
+			line = append(line, `,"rank":`...)
+			line = strconv.AppendInt(line, int64(e.Rank), 10)
+			line = append(line, `,"score":`...)
+			line = writeJSONFloat(line, e.Score)
+			// Matches the single ranking's omitempty rendering: present
+			// only when calibrated and non-zero.
+			if seg.tm.calibrator != nil && e.FailProb != 0 {
+				line = append(line, `,"fail_prob":`...)
+				line = writeJSONFloat(line, e.FailProb)
+			}
+			return append(line, '}', '\n')
+		}
+		errMsg = "pipe has no rank under this model"
+		s.metrics.bulkSegErrs.Inc()
+	}
+	line = append(line, `,"error":`...)
+	line = writeJSONString(line, errMsg)
+	return append(line, '}', '\n')
+}
+
+// trimNL strips the trailing newline json.Encoder leaves on cached
+// bodies so they splice mid-object.
+func trimNL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return b[:n-1]
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// writeJSONString appends s as a JSON string, matching encoding/json's
+// default escaping (including the HTML-safe <, >, & escapes) so
+// hand-built lines compare byte-equal to stdlib output. Inputs here are
+// region names, model names, pipe IDs and error texts — all ASCII, so
+// the stdlib's invalid-UTF-8 and U+2028/U+2029 handling is not
+// replicated.
+func writeJSONString[T ~string | ~[]byte](dst []byte, s T) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			dst = append(dst, '\\', c)
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// writeJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest representation, 'f' form except for very small/large
+// magnitudes, which use 'e' form with a cleaned-up exponent.
+func writeJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

@@ -32,11 +32,11 @@ import (
 // hangs until cancelled. (Indices sharing multiples fault by the first
 // matching rule.)
 type chaosTrainer struct {
-	real  func(ctx context.Context, name string) (*modelSnapshot, error)
+	real  func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error)
 	calls atomic.Int64
 }
 
-func (c *chaosTrainer) train(ctx context.Context, name string) (*modelSnapshot, error) {
+func (c *chaosTrainer) train(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 	i := c.calls.Add(1)
 	switch {
 	case i%7 == 0:
@@ -47,7 +47,7 @@ func (c *chaosTrainer) train(ctx context.Context, name string) (*modelSnapshot, 
 	case i%4 == 0:
 		return nil, errors.New("chaos failure")
 	}
-	return c.real(ctx, name)
+	return c.real(ctx, sh, name)
 }
 
 func TestChaosServerSurvives(t *testing.T) {
@@ -150,7 +150,7 @@ func TestChaosServerSurvives(t *testing.T) {
 
 	// Every published snapshot is fully formed (a torn publish would
 	// leave nil fields that panic the read path).
-	for name, tm := range *s.models.Load() {
+	for name, tm := range *s.def.models.Load() {
 		if tm == nil || tm.ranking == nil || tm.model == nil {
 			t.Fatalf("torn snapshot published for %s", name)
 		}
@@ -163,9 +163,9 @@ func TestChaosServerSurvives(t *testing.T) {
 		t.Fatal("readyz not draining after BeginShutdown")
 	}
 	waitFor(t, func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return len(s.pending) == 0
+		s.def.mu.Lock()
+		defer s.def.mu.Unlock()
+		return len(s.def.pending) == 0
 	})
 }
 
@@ -176,7 +176,7 @@ func TestChaosServerSurvives(t *testing.T) {
 func TestChaosSingleflightUnderCancellation(t *testing.T) {
 	s, _ := newTestServer(t)
 	var hangs atomic.Int64
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		hangs.Add(1)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -200,9 +200,9 @@ func TestChaosSingleflightUnderCancellation(t *testing.T) {
 	}
 
 	waitFor(t, func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return len(s.pending) == 0
+		s.def.mu.Lock()
+		defer s.def.mu.Unlock()
+		return len(s.def.pending) == 0
 	})
 	if hangs.Load() == 0 {
 		t.Fatal("hanging trainer never ran")
@@ -211,5 +211,99 @@ func TestChaosSingleflightUnderCancellation(t *testing.T) {
 	s.trainFn = s.train
 	if _, err := s.get(context.Background(), "Heuristic-Age"); err != nil {
 		t.Fatalf("clean train after cancellation storm: %v", err)
+	}
+}
+
+// TestChaosBulkRankDuringRebuilds hammers the streamed bulk endpoint
+// while the rebuild scheduler force-rotates every published snapshot
+// under it. Deterministic training means a rebuild must be invisible on
+// the wire: every streamed response — read mid-rotation or not — must
+// be byte-identical to the pre-chaos expected stream, and every ETag
+// constant. Any torn snapshot publish, cache/snapshot mismatch or
+// scratch-recycling race shows up as a diverging byte (or, under -race,
+// a report).
+func TestChaosBulkRankDuringRebuilds(t *testing.T) {
+	s, ts := newMultiTestServer(t)
+	ctx := context.Background()
+	for _, sh := range s.shards {
+		if _, err := s.getShard(ctx, sh, "Heuristic-Age"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The expected stream, assembled from the single-region responses
+	// the bulk lines must splice verbatim.
+	var expect strings.Builder
+	for _, region := range s.Regions() {
+		resp, err := http.Get(ts.URL + "/api/models/Heuristic-Age/ranking?top=10&region=" + region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("single ranking %s: %d %v", region, resp.StatusCode, err)
+		}
+		fmt.Fprintf(&expect, `{"region":%q,"model":"Heuristic-Age","etag":%s,"ranking":%s}`+"\n",
+			region, resp.Header.Get("ETag"), strings.TrimSuffix(string(body), "\n"))
+	}
+	want := expect.String()
+
+	// Rebuild storm: forced passes retrain and republish every snapshot
+	// (plus the default model) as fast as they complete.
+	stop := make(chan struct{})
+	var rebuilds sync.WaitGroup
+	rebuilds.Add(1)
+	go func() {
+		defer rebuilds.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.schedulerPass(true)
+			}
+		}
+	}()
+
+	var clients sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Post(ts.URL+"/api/bulk/rank", "application/json",
+					strings.NewReader(`{"model":"Heuristic-Age","top":10}`))
+				if err != nil {
+					t.Errorf("bulk request: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 {
+					t.Errorf("bulk response: %d %v", resp.StatusCode, err)
+					return
+				}
+				if string(body) != want {
+					t.Errorf("bulk stream diverged during rebuilds\ngot:  %s\nwant: %s", body, want)
+					return
+				}
+			}
+		}()
+	}
+	clients.Wait()
+	close(stop)
+	rebuilds.Wait()
+
+	// The storm must not have perturbed what a fresh client sees.
+	resp, err := http.Post(ts.URL+"/api/bulk/rank", "application/json",
+		strings.NewReader(`{"model":"Heuristic-Age","top":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != want {
+		t.Fatalf("post-storm stream diverged (%v)\ngot:  %s\nwant: %s", err, body, want)
 	}
 }

@@ -16,10 +16,11 @@ import "strconv"
 
 // planFields is the decoded plan request: value fields plus presence
 // flags instead of pointers, so the fast path fills it without
-// allocating. model aliases the request body buffer and is only valid
-// while that buffer is.
+// allocating. model and region alias the request body buffer and are
+// only valid while that buffer is.
 type planFields struct {
 	model    []byte
+	region   []byte
 	budgetKM float64
 	maxPipes int
 
@@ -65,11 +66,13 @@ func parsePlanFast(data []byte, pf *planFields) bool {
 				return false
 			}
 			i = next
-			// A string is only valid for "model"; a string in a numeric
-			// field must fail with the stdlib's error text.
+			// A string is only valid for "model"/"region"; a string in a
+			// numeric field must fail with the stdlib's error text.
 			switch string(key) {
 			case "model":
 				pf.model = val
+			case "region":
+				pf.region = val
 			case "budget_km", "max_pipes", "inspection_per_km", "failure_cost", "max_spend":
 				return false
 			}
@@ -80,7 +83,7 @@ func parsePlanFast(data []byte, pf *planFields) bool {
 			}
 			i = next
 			switch string(key) {
-			case "model":
+			case "model", "region":
 				return false // number into a string field: stdlib error
 			case "budget_km":
 				f, ok := parseJSONFloat(tok)

@@ -89,7 +89,10 @@ func (s *Server) deadlined(h http.HandlerFunc) http.HandlerFunc {
 // many models are trained so operators can tell a cold pod from a warm
 // one.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	trained := len(*s.models.Load())
+	trained := 0
+	for _, sh := range s.shards {
+		trained += len(*sh.models.Load())
+	}
 	if s.draining.Load() {
 		w.Header()["Retry-After"] = retryAfter1s
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{

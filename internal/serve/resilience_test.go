@@ -68,7 +68,7 @@ func TestTrainingPanicContained(t *testing.T) {
 	beforeFailures := counterVal("serve.train.failures")
 
 	realTrain := s.trainFn
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		panic("injected trainer panic")
 	}
 	var e map[string]any
@@ -105,7 +105,7 @@ func TestLoadSheddingAtCap(t *testing.T) {
 
 	release := make(chan struct{})
 	entered := make(chan struct{})
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		close(entered)
 		<-release
 		return nil, errors.New("parked trainer done")
@@ -196,7 +196,7 @@ func TestRequestTimeoutAbandonsTraining(t *testing.T) {
 	s.SetRequestTimeout(50 * time.Millisecond)
 
 	trainerDone := make(chan error, 1)
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		<-ctx.Done() // a hung trainer that at least honors cancellation
 		trainerDone <- ctx.Err()
 		return nil, fmt.Errorf("trainer: %w", ctx.Err())
@@ -226,7 +226,7 @@ func TestLastWaiterOutCancelsTraining(t *testing.T) {
 	s, _ := newTestServer(t)
 
 	trainCtx := make(chan context.Context, 1)
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		trainCtx <- ctx
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -243,9 +243,9 @@ func TestLastWaiterOutCancelsTraining(t *testing.T) {
 	// Both waiters must be registered before the first abandons, or the
 	// job could be cancelled while waiters == 1.
 	waitFor(t, func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		job := s.pending["Heuristic-Age"]
+		s.def.mu.Lock()
+		defer s.def.mu.Unlock()
+		job := s.def.pending["Heuristic-Age"]
 		return job != nil && job.waiters == 2
 	})
 

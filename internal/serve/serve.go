@@ -1,8 +1,11 @@
 // Package serve exposes a trained-model service over HTTP: a water utility
-// integration point that loads one network, trains models on demand, and
-// serves rankings, per-pipe risk lookups and budget-constrained inspection
-// plans as JSON. It is deliberately stdlib-only (net/http with Go 1.22
-// method patterns).
+// integration point that loads one or more regional networks, trains
+// models on demand, and serves rankings, per-pipe risk lookups and
+// budget-constrained inspection plans as JSON. Each region is an
+// isolated shard (see shard.go); bulk endpoints fan one request across
+// shards and stream NDJSON back (see bulk.go); a background scheduler
+// keeps shards warm (see sched.go). It is deliberately stdlib-only
+// (net/http with Go 1.22 method patterns).
 package serve
 
 import (
@@ -23,6 +26,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/respcache"
 )
@@ -31,38 +35,45 @@ import (
 // with; cmd/pipeserve overrides it via the -cache-mb flag.
 const DefaultCacheBytes = 32 << 20
 
-// Server wires one network and its pipeline into an http.Handler.
+// Server wires one or more regional networks into an http.Handler.
 // All handlers are safe for concurrent use; model training is
-// singleflighted per model name: the first request trains, concurrent
-// requests for the same model block on the in-flight run and share its
-// outcome instead of being refused.
+// singleflighted per (shard, model name): the first request trains,
+// concurrent requests for the same model block on the in-flight run and
+// share its outcome instead of being refused.
 //
-// The read path is lock-free: trained models live in an immutable
-// copy-on-write map behind an atomic pointer (published under mu, read
-// with a single atomic load), each pointing at a frozen modelSnapshot
-// (see snapshot.go). Encoded ranking/cohort/hotspot responses are
-// replayed from a size-bounded respcache LRU, with 304 Not-Modified
-// served off the snapshot ETag.
+// The read path is lock-free: each shard's trained models live in an
+// immutable copy-on-write map behind an atomic pointer (published under
+// the shard mutex, read with a single atomic load), each pointing at a
+// frozen modelSnapshot (see snapshot.go). Encoded
+// ranking/cohort/hotspot responses are replayed from per-shard
+// size-bounded respcache LRUs, with 304 Not-Modified served off the
+// snapshot ETag.
 //
 // Every route is wrapped in metrics middleware (request counter, latency
 // histogram, error counter, in-flight gauge) recording into the default
 // obs registry, which GET /metrics exposes as a JSON snapshot; DESIGN.md
 // documents the catalog.
 type Server struct {
-	net   *pipefail.Network
-	pipe  *pipefail.Pipeline
-	log   *log.Logger
-	cache *respcache.Cache
+	// shards is the immutable fan-out order; byRegion indexes it by
+	// region name; def (= shards[0]) serves every request that names no
+	// region, so a single-region deployment behaves exactly as before.
+	shards   []*shard
+	byRegion map[string]*shard
+	def      *shard
 
-	// trainFn runs one training pass; it defaults to (*Server).train and
-	// is a seam for tests that need to inject training failures, panics
-	// or hangs. It must honor ctx cancellation for prompt aborts.
-	trainFn func(ctx context.Context, name string) (*modelSnapshot, error)
+	log *log.Logger
+
+	// trainFn runs one training pass on one shard; it defaults to
+	// (*Server).train and is a seam for tests that need to inject
+	// training failures, panics or hangs. It must honor ctx cancellation
+	// for prompt aborts.
+	trainFn func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error)
 
 	metrics serveMetrics
 
-	// lifecycle is the context every training run derives from;
-	// BeginShutdown cancels it, aborting in-flight training.
+	// lifecycle is the context every training run (and the rebuild
+	// scheduler) derives from; BeginShutdown cancels it, aborting
+	// in-flight training.
 	lifecycle       context.Context
 	cancelLifecycle context.CancelFunc
 	// draining flips once at BeginShutdown: /readyz turns 503 and
@@ -77,9 +88,14 @@ type Server struct {
 	// requestTimeout bounds each sheddable request's context (0 = none).
 	requestTimeout time.Duration
 
-	// stateDir, when non-empty, is where trained linear models are
-	// persisted for warm restarts (see state.go).
+	// stateDir, when non-empty, is the root under which trained linear
+	// models are persisted for warm restarts (see state.go); each shard
+	// holds its own subdirectory in shard.stateDir.
 	stateDir string
+
+	// cacheBytes is the global response-cache budget, partitioned
+	// equally across shards (respcache.PartitionBudget).
+	cacheBytes int64
 
 	// defaultModel is the model a plan request with no "model" field
 	// resolves to, resolved once at construction — pipefail.Models()
@@ -88,12 +104,28 @@ type Server struct {
 	// pooled key scratch.
 	defaultModel []byte
 
-	// models is the copy-on-write name → snapshot map: readers Load once
-	// and never lock; writers clone-and-swap under mu.
-	models atomic.Pointer[map[string]*modelSnapshot]
+	// pool fans bulk-request misses and scheduler rebuilds across
+	// shards; sized to GOMAXPROCS at construction.
+	pool parallel.Pool
 
-	mu      sync.Mutex // guards pending, job waiter counts, and models publication
-	pending map[string]*trainJob
+	// routes records every registered route and whether it passes the
+	// shed/deadline middleware; a test locks the list so new routes
+	// cannot silently bypass shedding.
+	routes []routeSpec
+
+	// Rebuild scheduler state (see sched.go).
+	schedOn       atomic.Bool
+	schedInterval time.Duration
+	schedPool     parallel.Pool
+}
+
+// routeSpec is one registered route: its mux pattern, its metric name,
+// and whether it passes the shed/deadline middleware (everything but
+// the liveness/readiness probes must).
+type routeSpec struct {
+	pattern   string
+	name      string
+	sheddable bool
 }
 
 // serveMetrics caches the singleflight/in-flight metric handles so the
@@ -116,6 +148,11 @@ type serveMetrics struct {
 	stateRestored  *obs.Counter // models reloaded on warm restart
 	stateSaveErrs  *obs.Counter // failed persistence attempts
 	stateQuarantined *obs.Counter // unreadable/stale state files set aside
+	bulkSegments  *obs.Counter // NDJSON lines written by the bulk endpoints
+	bulkSegErrs   *obs.Counter // bulk segments that became error lines
+	schedPasses   *obs.Counter // rebuild-scheduler sweeps over the shards
+	schedRebuilds *obs.Counter // scheduled retrains started
+	schedFailures *obs.Counter // scheduled retrains that failed
 }
 
 func newServeMetrics() serveMetrics {
@@ -138,6 +175,11 @@ func newServeMetrics() serveMetrics {
 		stateRestored:  reg.Counter("serve.state.restored"),
 		stateSaveErrs:  reg.Counter("serve.state.save_errors"),
 		stateQuarantined: reg.Counter("serve.state.quarantined"),
+		bulkSegments:  reg.Counter("serve.bulk.segments"),
+		bulkSegErrs:   reg.Counter("serve.bulk.segment_errors"),
+		schedPasses:   reg.Counter("serve.sched.passes"),
+		schedRebuilds: reg.Counter("serve.sched.rebuilds"),
+		schedFailures: reg.Counter("serve.sched.failures"),
 	}
 }
 
@@ -154,31 +196,70 @@ type trainJob struct {
 	waiters int
 }
 
-// New builds a Server around the network. Options mirror
+// New builds a single-shard Server around one network. Options mirror
 // pipefail.NewPipeline; logger may be nil (logs are discarded into the
 // default logger then).
 func New(net *pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOption) (*Server, error) {
-	p, err := pipefail.NewPipeline(net, opts...)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	return NewMulti([]*pipefail.Network{net}, logger, opts...)
+}
+
+// NewMulti builds a Server with one shard per network, in the given
+// (deterministic) fan-out order. Duplicate region names are a
+// configuration error and fail construction — a silent last-write-wins
+// registry would serve one region's data under another's name. The
+// response-cache budget is partitioned equally across the shards.
+func NewMulti(nets []*pipefail.Network, logger *log.Logger, opts ...pipefail.PipelineOption) (*Server, error) {
+	if len(nets) == 0 {
+		return nil, errors.New("serve: no networks given")
 	}
 	if logger == nil {
 		logger = log.Default()
 	}
 	s := &Server{
-		net:          net,
-		pipe:         p,
 		log:          logger,
-		cache:        respcache.New("serve", DefaultCacheBytes, nil),
 		metrics:      newServeMetrics(),
-		pending:      make(map[string]*trainJob),
 		defaultModel: []byte(pipefail.Models()[0]),
+		byRegion:     make(map[string]*shard, len(nets)),
+		cacheBytes:   DefaultCacheBytes,
+		pool:         parallel.New(0),
 	}
 	s.lifecycle, s.cancelLifecycle = context.WithCancel(context.Background())
-	empty := make(map[string]*modelSnapshot)
-	s.models.Store(&empty)
+	budgets := respcache.PartitionBudget(DefaultCacheBytes, len(nets))
+	for i, n := range nets {
+		if prev, dup := s.byRegion[n.Region]; dup {
+			return nil, fmt.Errorf("serve: duplicate region %q (inputs %d and %d)",
+				n.Region, s.shardIndex(prev)+1, i+1)
+		}
+		sh, err := newShard(n, s.cacheNameFor(n.Region, len(nets)), budgets[i], opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+		s.byRegion[n.Region] = sh
+	}
+	s.def = s.shards[0]
 	s.trainFn = s.train
 	return s, nil
+}
+
+// cacheNameFor keeps the single-shard cache under the historical
+// "serve" metric prefix (respcache.serve.*); multi-shard deployments
+// get one series per region (respcache.serve.<region>.*).
+func (s *Server) cacheNameFor(region string, n int) string {
+	if n == 1 {
+		return "serve"
+	}
+	return "serve." + obs.SanitizeMetricName(region)
+}
+
+// shardIndex returns sh's position in the fan-out order.
+func (s *Server) shardIndex(sh *shard) int {
+	for i, o := range s.shards {
+		if o == sh {
+			return i
+		}
+	}
+	return -1
 }
 
 // SetMaxInflight caps the number of concurrently served requests on the
@@ -218,11 +299,16 @@ func (s *Server) BeginShutdown() {
 // Draining reports whether BeginShutdown has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// SetResponseCacheBytes replaces the response cache with one capped at
-// maxBytes. Call before serving traffic (it is not synchronized with
-// in-flight requests).
+// SetResponseCacheBytes replaces every shard's response cache with one
+// carved from a global budget of maxBytes (equal shares, remainder to
+// the first shard). Call before serving traffic (it is not synchronized
+// with in-flight requests).
 func (s *Server) SetResponseCacheBytes(maxBytes int64) {
-	s.cache = respcache.New("serve", maxBytes, nil)
+	s.cacheBytes = maxBytes
+	budgets := respcache.PartitionBudget(maxBytes, len(s.shards))
+	for i, sh := range s.shards {
+		sh.cache = respcache.New(sh.cacheName, budgets[i], nil)
+	}
 }
 
 // Handler returns the routed http.Handler. Every route, including
@@ -232,20 +318,38 @@ func (s *Server) SetResponseCacheBytes(maxBytes int64) {
 // resilience.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.routes = s.routes[:0]
 	// Probes bypass shedding and deadlines: a loaded or draining server
-	// must still answer its orchestrator.
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.recovered("healthz", s.handleHealth)))
-	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.recovered("readyz", s.handleReady)))
-	mux.HandleFunc("GET /api/network", s.middleware("network", s.handleNetwork))
-	mux.HandleFunc("GET /api/models", s.middleware("models", s.handleModels))
-	mux.HandleFunc("POST /api/models/{name}/train", s.middleware("train", s.handleTrain))
-	mux.HandleFunc("GET /api/models/{name}/ranking", s.middleware("ranking", s.handleRanking))
-	mux.HandleFunc("GET /api/pipes/{id}", s.middleware("pipe", s.handlePipe))
-	mux.HandleFunc("GET /api/cohorts", s.middleware("cohorts", s.handleCohorts))
-	mux.HandleFunc("GET /api/hotspots", s.middleware("hotspots", s.handleHotspots))
-	mux.HandleFunc("POST /api/plan", s.middleware("plan", s.handlePlan))
-	mux.HandleFunc("GET /metrics", s.middleware("metrics", s.handleMetrics))
+	// must still answer its orchestrator. Everything else — including
+	// the bulk fan-out and shard-admin routes — must go through the full
+	// chain; TestSheddableRouteList locks this.
+	s.handle(mux, "GET /healthz", "healthz", s.handleHealth, false)
+	s.handle(mux, "GET /readyz", "readyz", s.handleReady, false)
+	s.handle(mux, "GET /api/network", "network", s.handleNetwork, true)
+	s.handle(mux, "GET /api/regions", "regions", s.handleRegions, true)
+	s.handle(mux, "GET /api/models", "models", s.handleModels, true)
+	s.handle(mux, "POST /api/models/{name}/train", "train", s.handleTrain, true)
+	s.handle(mux, "GET /api/models/{name}/ranking", "ranking", s.handleRanking, true)
+	s.handle(mux, "GET /api/pipes/{id}", "pipe", s.handlePipe, true)
+	s.handle(mux, "GET /api/cohorts", "cohorts", s.handleCohorts, true)
+	s.handle(mux, "GET /api/hotspots", "hotspots", s.handleHotspots, true)
+	s.handle(mux, "POST /api/plan", "plan", s.handlePlan, true)
+	s.handle(mux, "POST /api/bulk/rank", "bulkrank", s.handleBulkRank, true)
+	s.handle(mux, "POST /api/bulk/plan", "bulkplan", s.handleBulkPlan, true)
+	s.handle(mux, "GET /metrics", "metrics", s.handleMetrics, true)
 	return mux
+}
+
+// handle registers one route, recording it in s.routes so the
+// sheddable-route invariant is testable. Sheddable routes get the full
+// middleware chain; probes get instrumentation and panic recovery only.
+func (s *Server) handle(mux *http.ServeMux, pattern, name string, h http.HandlerFunc, sheddable bool) {
+	s.routes = append(s.routes, routeSpec{pattern: pattern, name: name, sheddable: sheddable})
+	if sheddable {
+		mux.HandleFunc(pattern, s.middleware(name, h))
+	} else {
+		mux.HandleFunc(pattern, s.instrument(name, s.recovered(name, h)))
+	}
 }
 
 // middleware is the full request chain for sheddable routes, outermost
@@ -301,6 +405,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so the bulk endpoints can
+// push each NDJSON line out as it resolves instead of buffering the
+// whole stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		w.wrote = true
+		f.Flush()
+	}
+}
+
 // jsonCT is the Content-Type header value, preallocated so hot paths
 // assign it into the header map without building a fresh slice.
 var jsonCT = []string{"application/json"}
@@ -315,6 +429,36 @@ const bufPoolMax = 1 << 20
 // keyPool recycles response-cache key scratch; keys are rebuilt per
 // request from (route, model, canonical params).
 var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// appendRankingKey renders the canonical ranking cache key: route,
+// model, clamped entry count. Shared by the single and bulk rank paths
+// so their cache entries always collide — a bulk segment replays the
+// exact bytes a single /ranking call cached, and vice versa.
+func appendRankingKey[T ~string | ~[]byte](key []byte, model T, entries int) []byte {
+	key = append(key, "ranking\x00"...)
+	key = append(key, model...)
+	key = append(key, 0)
+	return strconv.AppendInt(key, int64(entries), 10)
+}
+
+// appendPlanKey renders the canonical plan cache key over decoded
+// values, so textual aliases of one request share an entry; shared by
+// the single and bulk plan paths.
+func appendPlanKey[T ~string | ~[]byte](key []byte, model T, cm plan.CostModel, b plan.Budget) []byte {
+	key = append(key, "plan\x00"...)
+	key = append(key, model...)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, b.MaxLengthM)
+	key = append(key, 0)
+	key = strconv.AppendInt(key, int64(b.MaxCount), 10)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, b.MaxSpend)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, cm.InspectionPerKM)
+	key = append(key, 0)
+	key = respcache.AppendKeyFloat(key, cm.FailureCost)
+	return key
+}
 
 // writeJSON encodes v into a pooled buffer, then writes it with
 // Content-Type and an explicit Content-Length — a single non-chunked
@@ -431,17 +575,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
-	split := s.pipe.Split()
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"region":     s.net.Region,
-		"pipes":      s.net.NumPipes(),
-		"failures":   s.net.NumFailures(),
-		"observed":   []int{s.net.ObservedFrom, s.net.ObservedTo},
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	sh, err := s.shardFromQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	split := sh.pipe.Split()
+	resp := map[string]any{
+		"region":     sh.net.Region,
+		"pipes":      sh.net.NumPipes(),
+		"failures":   sh.net.NumFailures(),
+		"observed":   []int{sh.net.ObservedFrom, sh.net.ObservedTo},
 		"train":      []int{split.TrainFrom, split.TrainTo},
 		"test_year":  split.TestYear,
-		"network_km": s.net.TotalLengthM() / 1000,
-	})
+		"network_km": sh.net.TotalLengthM() / 1000,
+	}
+	// The multi-shard body additionally lists the fleet; a single-shard
+	// server keeps the exact pre-shard shape.
+	if len(s.shards) > 1 {
+		resp["regions"] = s.Regions()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type modelStatus struct {
@@ -452,8 +607,13 @@ type modelStatus struct {
 	FitSeconds float64 `json:"fit_seconds,omitempty"`
 }
 
-func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	models := *s.models.Load()
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	sh, err := s.shardFromQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	models := *sh.models.Load()
 	var out []modelStatus
 	for _, name := range pipefail.Models() {
 		st := modelStatus{Name: name}
@@ -481,72 +641,22 @@ func knownModel(name string) bool {
 // internal training failures (503) in the handlers' status mapping.
 var errUnknownModel = errors.New("unknown model")
 
-// get returns the trained model snapshot, training it on first use. The
-// fast path is one atomic load of the copy-on-write map — no lock.
-// Exactly one goroutine trains any given model; concurrent callers block
-// on the in-flight job's done channel and share its result, so the HTTP
-// layer degrades to queueing (not errors) under concurrent load. A
-// failed run is not published: its waiters all receive the error, and
-// the next request starts a fresh attempt.
-//
-// Training runs on its own goroutine under a context derived from the
-// server lifecycle, so BeginShutdown aborts it. Each waiter watches its
-// own request context: a waiter whose client disconnects (or whose
-// deadline fires) abandons the job, and when the last waiter leaves the
-// run itself is cancelled — nobody is left training for an empty room.
-func (s *Server) get(ctx context.Context, name string) (*modelSnapshot, error) {
-	if tm, ok := (*s.models.Load())[name]; ok {
-		s.metrics.sfCached.Inc()
-		return tm, nil
-	}
-	if !knownModel(name) {
-		return nil, fmt.Errorf("%w %q", errUnknownModel, name)
-	}
-	s.mu.Lock()
-	if tm, ok := (*s.models.Load())[name]; ok {
-		s.mu.Unlock()
-		s.metrics.sfCached.Inc()
-		return tm, nil
-	}
-	job, ok := s.pending[name]
-	if ok {
-		job.waiters++
-		s.mu.Unlock()
-		s.metrics.sfHits.Inc()
-	} else {
-		tctx, cancel := context.WithCancel(s.lifecycle)
-		job = &trainJob{done: make(chan struct{}), cancel: cancel, waiters: 1}
-		s.pending[name] = job
-		s.mu.Unlock()
-		s.metrics.sfMisses.Inc()
-		go s.runTrain(tctx, name, job)
-	}
-
-	select {
-	case <-job.done:
-		return job.tm, job.err
-	case <-ctx.Done():
-		s.abandon(job)
-		return nil, fmt.Errorf("training %q abandoned: %w", name, ctx.Err())
-	}
-}
-
 // abandon drops one waiter from a training job; the last waiter out
 // cancels the run.
-func (s *Server) abandon(job *trainJob) {
-	s.mu.Lock()
+func (s *Server) abandon(sh *shard, job *trainJob) {
+	sh.mu.Lock()
 	job.waiters--
 	if job.waiters <= 0 {
 		job.cancel()
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // runTrain executes one training run on its own goroutine, containing
 // panics into recorded failures: a panicking trainer must never take the
 // process down, it becomes an error every waiter sees while the server
 // keeps serving (the next request for the model retrains from scratch).
-func (s *Server) runTrain(ctx context.Context, name string, job *trainJob) {
+func (s *Server) runTrain(ctx context.Context, sh *shard, name string, job *trainJob) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.trainPanics.Inc()
@@ -560,47 +670,35 @@ func (s *Server) runTrain(ctx context.Context, name string, job *trainJob) {
 				s.metrics.trainCancelled.Inc()
 			}
 		}
-		s.mu.Lock()
-		delete(s.pending, name)
+		sh.mu.Lock()
+		delete(sh.pending, name)
 		if job.err == nil {
-			s.publishLocked(name, job.tm)
+			sh.publishLocked(name, job.tm)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		job.cancel() // release the context's resources
 		close(job.done)
 	}()
-	job.tm, job.err = s.trainFn(ctx, name)
+	job.tm, job.err = s.trainFn(ctx, sh, name)
 }
 
-// publishLocked swaps in a new copy-on-write map containing tm. Callers
-// hold s.mu, so concurrent publishes never lose entries; readers see
-// either the old or the new complete map, never a partial write.
-func (s *Server) publishLocked(name string, tm *modelSnapshot) {
-	old := *s.models.Load()
-	next := make(map[string]*modelSnapshot, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[name] = tm
-	s.models.Store(&next)
-}
-
-// train runs one full training pass for name and assembles the frozen
-// snapshot (see snapshot.go). It does not touch Server maps. Cancelling
-// ctx aborts the fit at its next generation/round/epoch boundary; a
-// successful pass is persisted to the state dir when one is configured.
-func (s *Server) train(ctx context.Context, name string) (*modelSnapshot, error) {
+// train runs one full training pass for name on one shard and assembles
+// the frozen snapshot (see snapshot.go). It does not touch shard maps.
+// Cancelling ctx aborts the fit at its next generation/round/epoch
+// boundary; a successful pass is persisted to the state dir when one is
+// configured.
+func (s *Server) train(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 	start := time.Now()
-	m, err := s.pipe.TrainContext(ctx, name)
+	m, err := sh.pipe.TrainContext(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
 	}
-	snap, err := s.snapshotModel(name, m, time.Since(start).Seconds())
+	snap, err := s.snapshotModel(sh, name, m, time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}
 	s.log.Printf("serve: trained %s in %.2fs (AUC %.4f)", name, snap.fitSeconds, snap.ranking.AUC())
-	s.saveModel(name, m)
+	s.saveModel(sh, name, m)
 	return snap, nil
 }
 
@@ -608,8 +706,8 @@ func (s *Server) train(ctx context.Context, name string) (*modelSnapshot, error)
 // shared by the training path and the warm-restart restore path, so a
 // restored model reproduces the exact rankings (and ETags) a fresh train
 // would have produced from the same weights.
-func (s *Server) snapshotModel(name string, m pipefail.Model, fitSeconds float64) (*modelSnapshot, error) {
-	ranking, err := s.pipe.Rank(m)
+func (s *Server) snapshotModel(sh *shard, name string, m pipefail.Model, fitSeconds float64) (*modelSnapshot, error) {
+	ranking, err := sh.pipe.Rank(m)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
 	}
@@ -640,7 +738,12 @@ func (s *Server) writeGetErr(w http.ResponseWriter, err error) {
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	tm, err := s.get(r.Context(), name)
+	sh, err := s.shardFromQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tm, err := s.getShard(r.Context(), sh, name)
 	if err != nil {
 		s.writeGetErr(w, err)
 		return
@@ -666,7 +769,12 @@ type rankedPipe struct {
 // already holds the snapshot's ETag) — zero heap allocations.
 func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	tm, err := s.get(r.Context(), name)
+	sh, err := s.shardFromQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tm, err := s.getShard(r.Context(), sh, name)
 	if err != nil {
 		s.writeGetErr(w, err)
 		return
@@ -689,11 +797,8 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	// Canonical key: the clamped, re-rendered count, so top=050 and any
 	// top beyond the ranking length share one cache entry.
 	kp := keyPool.Get().(*[]byte)
-	key := append((*kp)[:0], "ranking\x00"...)
-	key = append(key, name...)
-	key = append(key, 0)
-	key = strconv.AppendInt(key, int64(len(entries)), 10)
-	e, err := s.cache.GetOrFill(key, func() (respcache.Entry, error) {
+	key := appendRankingKey((*kp)[:0], name, len(entries))
+	e, err := sh.cache.GetOrFill(key, func() (respcache.Entry, error) {
 		body, err := encodeBody(entries)
 		if err != nil {
 			return respcache.Entry{}, err
@@ -710,15 +815,42 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	s.writeCached(w, r, e)
 }
 
+// findPipe locates a pipe ID across the shards: an explicit shard
+// first, otherwise every shard in fan-out order (pipe IDs are globally
+// unique in district-structured datasets, so the first hit is the hit).
+func (s *Server) findPipe(sh *shard, id string) (*shard, *pipefail.Pipe, bool) {
+	if sh != nil {
+		p, ok := sh.net.PipeByID(id)
+		return sh, p, ok
+	}
+	for _, o := range s.shards {
+		if p, ok := o.net.PipeByID(id); ok {
+			return o, p, true
+		}
+	}
+	return nil, nil, false
+}
+
 func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	p, ok := s.net.PipeByID(id)
+	var want *shard
+	if region, ok, err := queryParam(r.URL.RawQuery, "region"); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	} else if ok && region != "" {
+		if want, ok = s.byRegion[region]; !ok {
+			s.writeErr(w, http.StatusBadRequest, "unknown region %q", region)
+			return
+		}
+	}
+	sh, p, ok := s.findPipe(want, id)
 	if !ok {
 		s.writeErr(w, http.StatusNotFound, "unknown pipe %q", id)
 		return
 	}
 	resp := map[string]any{
 		"id":             p.ID,
+		"region":         sh.region,
 		"class":          p.Class.String(),
 		"material":       string(p.Material),
 		"coating":        string(p.Coating),
@@ -727,10 +859,10 @@ func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 		"laid_year":      p.LaidYear,
 		"soil":           map[string]string{"corrosivity": p.SoilCorrosivity, "expansivity": p.SoilExpansivity, "geology": p.SoilGeology, "map": p.SoilMap},
 		"dist_traffic_m": p.DistToTrafficM,
-		"failures":       len(s.net.FailuresOf(id)),
+		"failures":       len(sh.net.FailuresOf(id)),
 	}
 	scores := map[string]float64{}
-	for name, tm := range *s.models.Load() {
+	for name, tm := range *sh.models.Load() {
 		if i, ok := tm.rankIdx[id]; ok {
 			scores[name] = tm.ranking.Scores[i]
 		}
@@ -745,6 +877,11 @@ func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request) {
 // network is immutable for the life of the server, so each dimension is
 // computed and encoded exactly once, with a body-hash ETag.
 func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
+	sh, err := s.shardFromQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	by, _, qerr := queryParam(r.URL.RawQuery, "by")
 	if qerr != nil {
 		s.writeErr(w, http.StatusBadRequest, "%v", qerr)
@@ -753,11 +890,11 @@ func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
 	var fill func() (any, error)
 	switch by {
 	case "", "material":
-		fill = func() (any, error) { return s.net.CohortByMaterial(), nil }
+		fill = func() (any, error) { return sh.net.CohortByMaterial(), nil }
 	case "age":
-		fill = func() (any, error) { return s.net.CohortByAgeBand(10) }
+		fill = func() (any, error) { return sh.net.CohortByAgeBand(10) }
 	case "diameter":
-		fill = func() (any, error) { return s.net.CohortByDiameterBand([]float64{100, 200, 300, 450}) }
+		fill = func() (any, error) { return sh.net.CohortByDiameterBand([]float64{100, 200, 300, 450}) }
 	default:
 		s.writeErr(w, http.StatusBadRequest, "unknown cohort dimension %q (want material, age or diameter)", by)
 		return
@@ -768,7 +905,7 @@ func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
 	kp := keyPool.Get().(*[]byte)
 	key := append((*kp)[:0], "cohorts\x00"...)
 	key = append(key, by...)
-	e, err := s.cache.GetOrFill(key, func() (respcache.Entry, error) {
+	e, err := sh.cache.GetOrFill(key, func() (respcache.Entry, error) {
 		rows, err := fill()
 		if err != nil {
 			return respcache.Entry{}, err
@@ -789,6 +926,11 @@ func (s *Server) handleCohorts(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
+	sh, err := s.shardFromQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	min := 2
 	q, _, qerr := queryParam(r.URL.RawQuery, "min")
 	if qerr != nil {
@@ -806,8 +948,8 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	kp := keyPool.Get().(*[]byte)
 	key := append((*kp)[:0], "hotspots\x00"...)
 	key = strconv.AppendInt(key, int64(min), 10)
-	e, err := s.cache.GetOrFill(key, func() (respcache.Entry, error) {
-		body, err := encodeBody(s.net.SegmentHotspots(min))
+	e, err := sh.cache.GetOrFill(key, func() (respcache.Entry, error) {
+		body, err := encodeBody(sh.net.SegmentHotspots(min))
 		if err != nil {
 			return respcache.Entry{}, err
 		}
@@ -830,6 +972,7 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 // via parsePlanFast (see planreq.go).
 type planRequest struct {
 	Model           string   `json:"model"`
+	Region          string   `json:"region"`
 	BudgetKM        float64  `json:"budget_km"`
 	MaxPipes        int      `json:"max_pipes"`
 	InspectionPerKM *float64 `json:"inspection_per_km"`
@@ -846,6 +989,7 @@ func decodePlanSlow(data []byte, pf *planFields) error {
 		return err
 	}
 	pf.model = []byte(req.Model)
+	pf.region = []byte(req.Region)
 	pf.budgetKM = req.BudgetKM
 	pf.maxPipes = req.MaxPipes
 	if req.InspectionPerKM != nil {
@@ -908,64 +1052,29 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, buf *bytes.Bu
 		}
 	}
 
-	// Explicit zero on a priced or capped parameter is a client bug, not
-	// a request for a degenerate plan.
-	if pf.hasInsp && pf.inspPerKM == 0 {
-		s.writeErr(w, http.StatusBadRequest,
-			"inspection_per_km is explicitly 0; omit the field for the default (%d)", defaultInspectionPerKM)
-		return
-	}
-	if pf.hasFail && pf.failCost == 0 {
-		s.writeErr(w, http.StatusBadRequest,
-			"failure_cost is explicitly 0; omit the field for the default (%d)", defaultFailureCost)
-		return
-	}
-	if pf.hasSpend && pf.maxSpend == 0 {
-		s.writeErr(w, http.StatusBadRequest,
-			"max_spend is explicitly 0; omit the field for an uncapped spend")
-		return
-	}
-	// Negative budget dimensions used to silently mean "unconstrained"
-	// (the planner treats <= 0 as unset); reject them instead.
-	if pf.budgetKM < 0 {
-		s.writeErr(w, http.StatusBadRequest, "negative budget_km %v", pf.budgetKM)
-		return
-	}
-	if pf.maxPipes < 0 {
-		s.writeErr(w, http.StatusBadRequest, "negative max_pipes %d", pf.maxPipes)
-		return
-	}
-	if pf.maxSpend < 0 {
-		s.writeErr(w, http.StatusBadRequest, "negative max_spend %v", pf.maxSpend)
+	cm, b, perr := planParams(&pf)
+	if perr != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", perr)
 		return
 	}
 
-	cm := defaultCostModel
-	if pf.hasInsp {
-		cm.InspectionPerKM = pf.inspPerKM
+	sh := s.def
+	if len(pf.region) > 0 {
+		var ok bool
+		if sh, ok = s.byRegion[string(pf.region)]; !ok {
+			s.writeErr(w, http.StatusBadRequest, "unknown region %q", pf.region)
+			return
+		}
 	}
-	if pf.hasFail {
-		cm.FailureCost = pf.failCost
-	}
-	if err := cm.Validate(); err != nil {
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	b := plan.Budget{MaxLengthM: pf.budgetKM * 1000, MaxCount: pf.maxPipes, MaxSpend: pf.maxSpend}
-	if b.MaxLengthM <= 0 && b.MaxCount <= 0 && b.MaxSpend <= 0 {
-		s.writeErr(w, http.StatusBadRequest, "%v", plan.ErrNoBudget)
-		return
-	}
-
 	if len(pf.model) == 0 {
 		pf.model = s.defaultModel
 	}
-	tm, ok := (*s.models.Load())[string(pf.model)]
+	tm, ok := (*sh.models.Load())[string(pf.model)]
 	if ok {
 		s.metrics.sfCached.Inc()
 	} else {
 		var err error
-		tm, err = s.get(r.Context(), string(pf.model))
+		tm, err = s.getShard(r.Context(), sh, string(pf.model))
 		if err != nil {
 			s.writeGetErr(w, err)
 			return
@@ -979,20 +1088,9 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, buf *bytes.Bu
 	// Canonical key over decoded values, so textual aliases of one
 	// request ({"budget_km":5} vs {"budget_km":5.0}) share an entry.
 	kp := keyPool.Get().(*[]byte)
-	key := append((*kp)[:0], "plan\x00"...)
-	key = append(key, pf.model...)
-	key = append(key, 0)
-	key = respcache.AppendKeyFloat(key, b.MaxLengthM)
-	key = append(key, 0)
-	key = strconv.AppendInt(key, int64(b.MaxCount), 10)
-	key = append(key, 0)
-	key = respcache.AppendKeyFloat(key, b.MaxSpend)
-	key = append(key, 0)
-	key = respcache.AppendKeyFloat(key, cm.InspectionPerKM)
-	key = append(key, 0)
-	key = respcache.AppendKeyFloat(key, cm.FailureCost)
+	key := appendPlanKey((*kp)[:0], pf.model, cm, b)
 
-	if e, ok := s.cache.Get(key); ok {
+	if e, ok := sh.cache.Get(key); ok {
 		*kp = key
 		keyPool.Put(kp)
 		s.metrics.planCacheHits.Inc()
@@ -1004,22 +1102,87 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, buf *bytes.Bu
 	// Miss: plan off the snapshot's prefix structure. Get/Add instead of
 	// GetOrFill so plan-validation failures map to 400 (and encode
 	// failures to 500) without ever being cached.
-	px, err := tm.prefixFor(cm, s.metrics.planPrefixBuilds)
+	e, clientErr, err := s.buildPlanBody(tm, string(pf.model), cm, b)
 	if err != nil {
 		*kp = key
 		keyPool.Put(kp)
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		if clientErr {
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.log.Printf("serve: encode plan for %s: %v", pf.model, err)
+		s.writeErr(w, http.StatusInternalServerError, "encoding plan failed")
 		return
+	}
+	sh.cache.Add(key, e)
+	*kp = key
+	keyPool.Put(kp)
+	s.writeCached(w, r, e)
+}
+
+// planParams validates the decoded plan fields and assembles the cost
+// model and budget; every error is a 400 with the exact text servePlan
+// has always sent. Shared by the single-plan and bulk-plan paths so the
+// two cannot drift.
+func planParams(pf *planFields) (plan.CostModel, plan.Budget, error) {
+	// Explicit zero on a priced or capped parameter is a client bug, not
+	// a request for a degenerate plan.
+	if pf.hasInsp && pf.inspPerKM == 0 {
+		return plan.CostModel{}, plan.Budget{}, fmt.Errorf(
+			"inspection_per_km is explicitly 0; omit the field for the default (%d)", defaultInspectionPerKM)
+	}
+	if pf.hasFail && pf.failCost == 0 {
+		return plan.CostModel{}, plan.Budget{}, fmt.Errorf(
+			"failure_cost is explicitly 0; omit the field for the default (%d)", defaultFailureCost)
+	}
+	if pf.hasSpend && pf.maxSpend == 0 {
+		return plan.CostModel{}, plan.Budget{}, fmt.Errorf(
+			"max_spend is explicitly 0; omit the field for an uncapped spend")
+	}
+	// Negative budget dimensions used to silently mean "unconstrained"
+	// (the planner treats <= 0 as unset); reject them instead.
+	if pf.budgetKM < 0 {
+		return plan.CostModel{}, plan.Budget{}, fmt.Errorf("negative budget_km %v", pf.budgetKM)
+	}
+	if pf.maxPipes < 0 {
+		return plan.CostModel{}, plan.Budget{}, fmt.Errorf("negative max_pipes %d", pf.maxPipes)
+	}
+	if pf.maxSpend < 0 {
+		return plan.CostModel{}, plan.Budget{}, fmt.Errorf("negative max_spend %v", pf.maxSpend)
+	}
+
+	cm := defaultCostModel
+	if pf.hasInsp {
+		cm.InspectionPerKM = pf.inspPerKM
+	}
+	if pf.hasFail {
+		cm.FailureCost = pf.failCost
+	}
+	if err := cm.Validate(); err != nil {
+		return plan.CostModel{}, plan.Budget{}, err
+	}
+	b := plan.Budget{MaxLengthM: pf.budgetKM * 1000, MaxCount: pf.maxPipes, MaxSpend: pf.maxSpend}
+	if b.MaxLengthM <= 0 && b.MaxCount <= 0 && b.MaxSpend <= 0 {
+		return plan.CostModel{}, plan.Budget{}, plan.ErrNoBudget
+	}
+	return cm, b, nil
+}
+
+// buildPlanBody prices one plan against a snapshot and encodes the
+// response body; shared by the single-plan miss path and the bulk plan
+// fill. The bool distinguishes client errors (plan validation → 400)
+// from encode failures (500). The caller owns caching.
+func (s *Server) buildPlanBody(tm *modelSnapshot, model string, cm plan.CostModel, b plan.Budget) (respcache.Entry, bool, error) {
+	px, err := tm.prefixFor(cm, s.metrics.planPrefixBuilds)
+	if err != nil {
+		return respcache.Entry{}, true, err
 	}
 	p, err := px.Plan(b)
 	if err != nil {
-		*kp = key
-		keyPool.Put(kp)
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return respcache.Entry{}, true, err
 	}
 	resp := planResponse{
-		Model:             string(pf.model),
+		Model:             model,
 		TotalKM:           p.TotalLengthM / 1000,
 		InspectionCost:    p.InspectionCost,
 		ExpectedPrevented: p.ExpectedPrevented,
@@ -1030,15 +1193,7 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, buf *bytes.Bu
 	}
 	body, err := encodeBody(resp)
 	if err != nil {
-		*kp = key
-		keyPool.Put(kp)
-		s.log.Printf("serve: encode plan for %s: %v", resp.Model, err)
-		s.writeErr(w, http.StatusInternalServerError, "encoding plan failed")
-		return
+		return respcache.Entry{}, false, err
 	}
-	e := respcache.Entry{Body: body, ETag: respcache.BodyETag(body)}
-	s.cache.Add(key, e)
-	*kp = key
-	keyPool.Put(kp)
-	s.writeCached(w, r, e)
+	return respcache.Entry{Body: body, ETag: respcache.BodyETag(body)}, false, nil
 }

@@ -177,7 +177,7 @@ func TestRankingEndpoint(t *testing.T) {
 
 func TestPipeEndpoint(t *testing.T) {
 	s, ts := newTestServer(t)
-	id := s.net.Pipes()[0].ID
+	id := s.def.net.Pipes()[0].ID
 	var pipe map[string]any
 	if code := getJSON(t, ts.URL+"/api/pipes/"+id, &pipe); code != 200 {
 		t.Fatalf("pipe status %d", code)
@@ -329,7 +329,7 @@ func TestTrainFailureNotCached(t *testing.T) {
 
 	realTrain := s.trainFn
 	failures := 0
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		failures++
 		return nil, errors.New("injected training failure")
 	}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -43,6 +44,11 @@ type modelSnapshot struct {
 	// by row) with FailProb calibrated once; handleRanking serves
 	// entries[:top] directly.
 	entries []rankedPipe
+
+	// rankOf maps a ranking row (the rankIdx value space) to its
+	// 1-based rank, so the bulk per-pipe path answers "what rank is
+	// this pipe" with two array reads instead of a scan.
+	rankOf []int32
 
 	// cands is the prebuilt plan.Candidate slice in ranking row order —
 	// the raw input both plan.Greedy and plan.BuildPrefix consume.
@@ -68,6 +74,11 @@ type modelSnapshot struct {
 	// derived from the model name and score bytes: any change to the
 	// ranking changes the tag, and re-training the same data reproduces it.
 	etag string
+
+	// builtAt is when this snapshot was frozen; the rebuild scheduler
+	// uses it to decide staleness. It does not feed the ETag, so a
+	// deterministic retrain still reproduces the same validator.
+	builtAt time.Time
 }
 
 // planMemoMax bounds the distinct non-default cost models memoized per
@@ -116,6 +127,7 @@ func newModelSnapshot(name string, m pipefail.Model, ranking *pipefail.Ranking, 
 		fitSeconds: fitSeconds,
 		rankIdx:    make(map[string]int, ranking.Len()),
 		etag:       rankingETag(name, ranking.Scores),
+		builtAt:    time.Now(),
 	}
 	for i, id := range ranking.PipeIDs {
 		tm.rankIdx[id] = i
@@ -143,6 +155,7 @@ func newModelSnapshot(name string, m pipefail.Model, ranking *pipefail.Ranking, 
 
 	ids := ranking.TopIDs(ranking.Len())
 	tm.entries = make([]rankedPipe, len(ids))
+	tm.rankOf = make([]int32, ranking.Len())
 	for i, id := range ids {
 		row := tm.rankIdx[id]
 		e := rankedPipe{Rank: i + 1, PipeID: id, Score: ranking.Scores[row]}
@@ -150,6 +163,7 @@ func newModelSnapshot(name string, m pipefail.Model, ranking *pipefail.Ranking, 
 			e.FailProb = probs[row]
 		}
 		tm.entries[i] = e
+		tm.rankOf[row] = int32(i + 1)
 	}
 	return tm
 }

@@ -210,7 +210,7 @@ func TestCohortsAndHotspotsCached(t *testing.T) {
 	if got := cacheCounter("hits") - hits0; got < 3 {
 		t.Fatalf("response cache hits = %d, want >= 3 (repeat cohorts, repeat hotspots, canonical material)", got)
 	}
-	keys := s.cache.Keys()
+	keys := s.def.cache.Keys()
 	for _, k := range keys {
 		if strings.HasPrefix(k, "cohorts\x00") && strings.HasSuffix(k, "\x00") {
 			t.Fatalf("non-canonical empty cohort key cached: %q", keys)
@@ -343,7 +343,7 @@ func TestConcurrentReadsDuringColdTrain(t *testing.T) {
 // and no response-cache entry left behind.
 func TestFailedTrainPopulatesNothing(t *testing.T) {
 	s, ts := newTestServer(t)
-	s.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		return nil, errors.New("injected cold-train failure")
 	}
 	const readers = 8
@@ -369,10 +369,10 @@ func TestFailedTrainPopulatesNothing(t *testing.T) {
 	for e := range errs {
 		t.Fatal(e)
 	}
-	if _, ok := (*s.models.Load())["RankBoost"]; ok {
+	if _, ok := (*s.def.models.Load())["RankBoost"]; ok {
 		t.Fatal("failed train published a model snapshot")
 	}
-	for _, k := range s.cache.Keys() {
+	for _, k := range s.def.cache.Keys() {
 		if strings.Contains(k, "RankBoost") {
 			t.Fatalf("failed train left cache entry %q", k)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // This file is the warm-restart persistence layer: trained linear models
@@ -18,27 +19,32 @@ import (
 // scores, same ETags) instead of retraining from scratch.
 //
 // Layout: one <model-name>.model.json per model, written atomically
-// (temp file + rename in the same directory). Files that fail to load —
-// truncated writes, hand edits, a network/feature-schema change since
-// they were saved — are quarantined by renaming to *.corrupt and the
-// boot continues; state is an optimization, never a correctness
-// dependency, so no state-dir problem is ever fatal.
+// (temp file + rename in the same directory). A single-shard server
+// keeps its files directly in the state dir — the layout the
+// single-region server always used — while a multi-shard server gives
+// each region its own subdirectory (named by the sanitized region), so
+// two shards training the same model never race on one path. Files that
+// fail to load — truncated writes, hand edits, a network/feature-schema
+// change since they were saved — are quarantined by renaming to
+// *.corrupt and the boot continues; state is an optimization, never a
+// correctness dependency, so no state-dir problem is ever fatal.
 
 const (
 	stateSuffix      = ".model.json"
 	quarantineSuffix = ".corrupt"
 )
 
-// statePath returns the on-disk path for one model's saved weights.
-func (s *Server) statePath(name string) string {
-	return filepath.Join(s.stateDir, name+stateSuffix)
+// statePath returns the on-disk path for one model's saved weights in
+// one shard.
+func (sh *shard) statePath(name string) string {
+	return filepath.Join(sh.stateDir, name+stateSuffix)
 }
 
 // SetStateDir enables warm-restart persistence rooted at dir (created if
 // absent) and immediately restores any previously saved models into the
-// serving snapshot map. Call before serving traffic. Restore problems
-// quarantine the offending file and keep going; only an unusable
-// directory is reported as an error.
+// per-shard serving snapshot maps. Call before serving traffic. Restore
+// problems quarantine the offending file and keep going; only an
+// unusable directory is reported as an error.
 func (s *Server) SetStateDir(dir string) error {
 	if dir == "" {
 		return nil
@@ -47,7 +53,17 @@ func (s *Server) SetStateDir(dir string) error {
 		return fmt.Errorf("serve: state dir: %w", err)
 	}
 	s.stateDir = dir
-	s.restoreState()
+	for _, sh := range s.shards {
+		sub := dir
+		if len(s.shards) > 1 {
+			sub = filepath.Join(dir, obs.SanitizeMetricName(sh.region))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return fmt.Errorf("serve: state dir for region %q: %w", sh.region, err)
+			}
+		}
+		sh.stateDir = sub
+		s.restoreState(sh)
+	}
 	return nil
 }
 
@@ -55,29 +71,30 @@ func (s *Server) SetStateDir(dir string) error {
 // configured and the model has an on-disk format. Persistence failures
 // are metered and logged but never surfaced to the request that trained
 // the model — the snapshot is already published and serving.
-func (s *Server) saveModel(name string, m pipefail.Model) {
-	if s.stateDir == "" || !core.Persistable(m) {
+func (s *Server) saveModel(sh *shard, name string, m pipefail.Model) {
+	if sh.stateDir == "" || !core.Persistable(m) {
 		return
 	}
-	if err := s.writeModelFile(name, m); err != nil {
+	if err := s.writeModelFile(sh, name, m); err != nil {
 		s.metrics.stateSaveErrs.Inc()
 		s.log.Printf("serve: persist %s: %v", name, err)
 		return
 	}
 	s.metrics.stateSaved.Inc()
-	s.log.Printf("serve: persisted %s to %s", name, s.statePath(name))
+	s.log.Printf("serve: persisted %s to %s", name, sh.statePath(name))
 }
 
 // writeModelFile writes the model atomically: encode into a temp file in
-// the state dir, fsync, then rename over the final path. A crash at any
-// point leaves either the old complete file or none — never a torn one.
-func (s *Server) writeModelFile(name string, m pipefail.Model) error {
-	tmp, err := os.CreateTemp(s.stateDir, name+".tmp-*")
+// the shard's state dir, fsync, then rename over the final path. A crash
+// at any point leaves either the old complete file or none — never a
+// torn one.
+func (s *Server) writeModelFile(sh *shard, name string, m pipefail.Model) error {
+	tmp, err := os.CreateTemp(sh.stateDir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := core.SaveLinear(tmp, m, s.pipe.FeatureNames()); err != nil {
+	if err := core.SaveLinear(tmp, m, sh.pipe.FeatureNames()); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -88,16 +105,17 @@ func (s *Server) writeModelFile(name string, m pipefail.Model) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), s.statePath(name))
+	return os.Rename(tmp.Name(), sh.statePath(name))
 }
 
-// restoreState loads every *.model.json in the state dir into the
-// serving snapshot map. Each restored model is re-ranked against the
-// pipeline's held-out set — scoring is deterministic, so the rebuilt
-// snapshot carries the same scores and ETag the original training run
-// produced — and published exactly as a fresh training run would be.
-func (s *Server) restoreState() {
-	entries, err := os.ReadDir(s.stateDir)
+// restoreState loads every *.model.json in the shard's state dir into
+// its serving snapshot map. Each restored model is re-ranked against the
+// shard pipeline's held-out set — scoring is deterministic, so the
+// rebuilt snapshot carries the same scores and ETag the original
+// training run produced — and published exactly as a fresh training run
+// would be.
+func (s *Server) restoreState(sh *shard) {
+	entries, err := os.ReadDir(sh.stateDir)
 	if err != nil {
 		s.log.Printf("serve: read state dir: %v", err)
 		return
@@ -106,19 +124,19 @@ func (s *Server) restoreState() {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), stateSuffix) {
 			continue
 		}
-		path := filepath.Join(s.stateDir, e.Name())
+		path := filepath.Join(sh.stateDir, e.Name())
 		name := strings.TrimSuffix(e.Name(), stateSuffix)
-		if err := s.restoreModelFile(path, name); err != nil {
+		if err := s.restoreModelFile(sh, path, name); err != nil {
 			s.quarantine(path, err)
 		}
 	}
 }
 
-// restoreModelFile loads one saved model, validates it against this
-// server's network/feature schema, and publishes its snapshot. Any
+// restoreModelFile loads one saved model, validates it against the
+// shard's network/feature schema, and publishes its snapshot. Any
 // mismatch is an error (the caller quarantines): weights trained against
 // a different feature layout would score garbage silently.
-func (s *Server) restoreModelFile(path, name string) error {
+func (s *Server) restoreModelFile(sh *shard, path, name string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -134,7 +152,7 @@ func (s *Server) restoreModelFile(path, name string) error {
 	if !knownModel(name) {
 		return fmt.Errorf("unknown model kind %q", name)
 	}
-	want := s.pipe.FeatureNames()
+	want := sh.pipe.FeatureNames()
 	if len(sm.FeatureNames) != len(want) {
 		return fmt.Errorf("saved with %d features, pipeline has %d", len(sm.FeatureNames), len(want))
 	}
@@ -143,13 +161,13 @@ func (s *Server) restoreModelFile(path, name string) error {
 			return fmt.Errorf("feature %d is %q, pipeline has %q", i, sm.FeatureNames[i], want[i])
 		}
 	}
-	snap, err := s.snapshotModel(name, m, 0)
+	snap, err := s.snapshotModel(sh, name, m, 0)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.publishLocked(name, snap)
-	s.mu.Unlock()
+	sh.mu.Lock()
+	sh.publishLocked(name, snap)
+	sh.mu.Unlock()
 	s.metrics.stateRestored.Inc()
 	s.log.Printf("serve: restored %s from %s (AUC %.4f)", name, path, snap.ranking.AUC())
 	return nil

@@ -75,9 +75,9 @@ func TestWarmRestartServesIdenticalRankings(t *testing.T) {
 	// "Restart": a fresh server over the same dir. Its trainer is booby-
 	// trapped — serving the ranking must not need it.
 	s2, ts2 := stateTestServer(t, dir)
-	s2.trainFn = func(ctx context.Context, name string) (*modelSnapshot, error) {
+	s2.trainFn = func(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
 		t.Error("warm restart retrained instead of restoring")
-		return s2.train(ctx, name)
+		return s2.train(ctx, sh, name)
 	}
 	if got := counterVal("serve.state.restored"); got < before+1 {
 		t.Fatalf("serve.state.restored = %d, want >= %d", got, before+1)
