@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test verify chaos fuzz-smoke bench bench-json bench-data bench-check
+.PHONY: build test verify chaos fuzz-smoke bench bench-json bench-data bench-ingest bench-check
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 # fuzz pass over the CSV parsers and the AUC kernel differential.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/eval/... ./internal/kerneltest/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/eval/... ./internal/kerneltest/... ./internal/obs/... ./internal/serve/... ./internal/respcache/... ./internal/experiments/... ./internal/wal/...
 	$(GO) test ./internal/kerneltest -count=1
 	$(GO) test ./internal/eval -run='^TestAUCKernelZeroAlloc$$' -count=1
 	$(GO) test ./internal/serve -run='^(TestRankingCacheHitZeroAlloc|TestPlanCacheHitZeroAlloc|TestParsePlanFastZeroAlloc|TestBulkRankCacheHitZeroAlloc)$$' -count=1
@@ -30,12 +30,15 @@ verify:
 	$(MAKE) fuzz-smoke
 
 # chaos runs the fault-injection suite under the race detector: the
-# internal/faulty harness (listener cuts, delayed clients) and the serve
+# internal/faulty harness (listener cuts, delayed clients), the serve
 # chaos tests that combine network faults with training failures,
-# panics, hangs, shedding and a mid-storm drain.
+# panics, hangs, shedding and a mid-storm drain, and the WAL crash
+# matrix (deterministic kills at labeled append/rotate/sync points, with
+# the exactly-once and bit-identical-recovery invariants).
 chaos:
 	$(GO) test -race ./internal/faulty/...
 	$(GO) test -race -run='^TestChaos' -count=1 ./internal/serve/
+	$(GO) test -race -run='^TestCrashMatrix|^TestRotateCrashRecovers|^TestTornTail|^TestBitFlipped|^TestCorruptInterior' -count=1 ./internal/wal/
 
 # fuzz-smoke runs each fuzzer briefly (FUZZTIME per target) — enough to
 # replay the corpus and shake out shallow regressions without holding up
@@ -47,6 +50,8 @@ fuzz-smoke:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadFailures$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/eval -run='^$$' -fuzz='^FuzzAUCKernelVsNaive$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/colfmt -run='^$$' -fuzz='^FuzzReadDataset$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzFrameDecode$$' -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -80,6 +85,18 @@ bench-data:
 	  $(GO) test -run='^$$' -bench='BenchmarkReadPipes|BenchmarkReadFailures' ./internal/dataset/; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_data.json
 
+# bench-ingest records the streaming-ingest data plane into
+# BENCH_ingest.json: raw WAL append latency per fsync policy (the
+# group-commit parallel case included), replay throughput, and the
+# /api/events handler end to end. The serve-side benchmarks run a fixed
+# iteration count: accepted events accumulate in the live overlays and
+# the per-request drift scan is O(overlay), so time-based auto-scaling
+# would measure ever-growing windows instead of the steady state.
+bench-ingest:
+	{ $(GO) test -run='^$$' -bench='BenchmarkWALAppend|BenchmarkWALReplay' ./internal/wal/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkEventsIngest' -benchtime=2000x ./internal/serve/; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
+
 BENCH_TOL ?= 0.30
 bench-check:
 	{ $(GO) test -run='^$$' -bench='BenchmarkFitnessEval|BenchmarkScoreAllFlat' ./internal/core/; \
@@ -89,3 +106,6 @@ bench-check:
 	{ BENCH_FULL=1 $(GO) test -run='^$$' -bench='BenchmarkColRead|BenchmarkColWrite|BenchmarkConvertCSVToCol|BenchmarkIngest' -timeout 60m ./internal/colfmt/; \
 	  $(GO) test -run='^$$' -bench='BenchmarkReadPipes|BenchmarkReadFailures' ./internal/dataset/; } \
 	| $(GO) run ./cmd/benchjson -check BENCH_data.json -tol $(BENCH_TOL)
+	{ $(GO) test -run='^$$' -bench='BenchmarkWALAppend|BenchmarkWALReplay' ./internal/wal/; \
+	  $(GO) test -run='^$$' -bench='BenchmarkEventsIngest' -benchtime=2000x ./internal/serve/; } \
+	| $(GO) run ./cmd/benchjson -check BENCH_ingest.json -tol $(BENCH_TOL)

@@ -248,8 +248,18 @@ func (p *pipeserveProc) stderr() string {
 // keeps collecting stderr in the background.
 func startPipeserve(t *testing.T, bin string, extra ...string) *pipeserveProc {
 	t.Helper()
+	return startPipeserveEnv(t, bin, nil, extra...)
+}
+
+// startPipeserveEnv is startPipeserve with extra environment variables
+// (the crash-injection hook for the kill-mid-ingest e2e).
+func startPipeserveEnv(t *testing.T, bin string, env []string, extra ...string) *pipeserveProc {
+	t.Helper()
 	args := append([]string{"-region", "A", "-seed", "5", "-scale", "0.04", "-addr", "127.0.0.1:0"}, extra...)
 	p := &pipeserveProc{cmd: exec.Command(bin, args...)}
+	if len(env) > 0 {
+		p.cmd.Env = append(os.Environ(), env...)
+	}
 	stderr, err := p.cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -789,5 +799,126 @@ func TestServeDuplicateRegionFailsFast(t *testing.T) {
 	}
 	if !strings.Contains(string(out), `duplicate region "A"`) {
 		t.Fatalf("startup log %s missing the duplicate-region error", out)
+	}
+}
+
+// TestServeIngestSIGKILLRestart is the cross-process durability e2e:
+// ingest acknowledged events over real HTTP, SIGKILL the process (once
+// externally, once from inside the WAL append path via the PIPEWAL_CRASH
+// trigger), restart on the same -wal-dir, and assert every acknowledged
+// event survives exactly once — replayed on boot, deduplicated on retry.
+func TestServeIngestSIGKILLRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve e2e skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	p1 := startPipeserve(t, bins["pipeserve"], "-wal-dir", walDir, "-wal-sync", "always")
+
+	// Scrape a few real pipe IDs and the observation window end so the
+	// events validate.
+	status, body := serveRequest(t, "POST", p1.base+"/api/models/Heuristic-Age/train", "")
+	if status != http.StatusOK {
+		t.Fatalf("train: status %d body %s", status, body)
+	}
+	status, body = serveRequest(t, "GET", p1.base+"/api/models/Heuristic-Age/ranking?top=8", "")
+	if status != http.StatusOK {
+		t.Fatalf("ranking: status %d", status)
+	}
+	var ranked []struct {
+		PipeID string `json:"pipe_id"`
+	}
+	if err := json.Unmarshal(body, &ranked); err != nil || len(ranked) < 4 {
+		t.Fatalf("ranking body %s (err %v)", body, err)
+	}
+	status, body = serveRequest(t, "GET", p1.base+"/api/network", "")
+	if status != http.StatusOK {
+		t.Fatalf("network: status %d", status)
+	}
+	var netInfo struct {
+		TestYear int `json:"test_year"`
+	}
+	if err := json.Unmarshal(body, &netInfo); err != nil || netInfo.TestYear == 0 {
+		t.Fatalf("network body %s (err %v)", body, err)
+	}
+	event := func(i int) string {
+		return fmt.Sprintf(`{"id":"kill-%d","pipe_id":%q,"year":%d,"day":%d}`,
+			i, ranked[i%len(ranked)].PipeID, netInfo.TestYear+1, i+1)
+	}
+
+	const acked = 6
+	for i := 0; i < acked; i++ {
+		status, body = serveRequest(t, "POST", p1.base+"/api/events", event(i))
+		if status != http.StatusOK || !bytes.Contains(body, []byte(`"accepted":1`)) {
+			t.Fatalf("event %d: status %d body %s", i, status, body)
+		}
+	}
+
+	// SIGKILL: no drain, no WAL close — only fsynced bytes survive, and
+	// -wal-sync=always promised all six were.
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	p2 := startPipeserve(t, bins["pipeserve"], "-wal-dir", walDir, "-wal-sync", "always")
+	if logs := p2.stderr(); !strings.Contains(logs, fmt.Sprintf("replayed %d live events", acked)) {
+		t.Fatalf("restart log shows no replay of %d events:\n%s", acked, logs)
+	}
+	var netAfter struct {
+		LiveEvents int `json:"live_events"`
+	}
+	status, body = serveRequest(t, "GET", p2.base+"/api/network", "")
+	if status != http.StatusOK || json.Unmarshal(body, &netAfter) != nil || netAfter.LiveEvents != acked {
+		t.Fatalf("after restart: status %d live_events %d (want %d) body %s",
+			status, netAfter.LiveEvents, acked, body)
+	}
+	// Retries of every acknowledged event are pure duplicates.
+	for i := 0; i < acked; i++ {
+		status, body = serveRequest(t, "POST", p2.base+"/api/events", event(i))
+		if status != http.StatusOK || !bytes.Contains(body, []byte(`"accepted":0,"duplicates":1`)) {
+			t.Fatalf("retry %d: status %d body %s", i, status, body)
+		}
+	}
+
+	// Part two: die from INSIDE the append path (the PIPEWAL_CRASH
+	// trigger exits like SIGKILL mid-write) on the next ingest. The dying
+	// request is never acknowledged, so the client retries it against the
+	// restarted process.
+	if err := p2.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p2.cmd.Wait()
+	p3 := startPipeserveEnv(t, bins["pipeserve"],
+		[]string{"PIPEWAL_CRASH=append.framed:1"},
+		"-wal-dir", walDir, "-wal-sync", "always")
+	resp, err := http.Post(p3.base+"/api/events", "application/json", strings.NewReader(event(acked)))
+	if err == nil {
+		// The process must be dying; whatever status came back, it cannot
+		// be an ack.
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("crashing process acknowledged the event: %s", b)
+		}
+	}
+	if code := p3.waitExit(t, 10*time.Second); code != 137 {
+		t.Fatalf("crash trigger exit code %d, want 137", code)
+	}
+
+	p4 := startPipeserve(t, bins["pipeserve"], "-wal-dir", walDir, "-wal-sync", "always")
+	status, body = serveRequest(t, "GET", p4.base+"/api/network", "")
+	var netFinal struct {
+		LiveEvents int `json:"live_events"`
+	}
+	if status != http.StatusOK || json.Unmarshal(body, &netFinal) != nil || netFinal.LiveEvents != acked {
+		t.Fatalf("after mid-append crash: live_events %d, want %d (unacked event must not replay as applied twice); body %s",
+			netFinal.LiveEvents, acked, body)
+	}
+	// The unacknowledged event retries cleanly: exactly-once overall.
+	status, body = serveRequest(t, "POST", p4.base+"/api/events", event(acked))
+	if status != http.StatusOK || !bytes.Contains(body, []byte(fmt.Sprintf(`"live_events":%d`, acked+1))) {
+		t.Fatalf("retry of unacked event: status %d body %s", status, body)
 	}
 }

@@ -30,7 +30,22 @@
 //	POST /api/plan       {"model": "...", "budget_km": 10}
 //	POST /api/bulk/rank  {"regions": [...], "pipe_ids": [...], "top": N}  → NDJSON stream
 //	POST /api/bulk/plan  {"regions": [...], "budget_km": 10}              → NDJSON stream
+//	POST /api/events     (live failure/renewal ingest; needs -wal-dir)
 //	GET  /metrics   (JSON metrics snapshot; disable with -metrics=false)
+//
+// Streaming ingest: with -wal-dir, POST /api/events accepts one event
+// (JSON object) or a batch (NDJSON with Content-Type
+// application/x-ndjson). Events are framed into a crash-safe write-ahead
+// log and acknowledged only once durable under -wal-sync (always fsyncs
+// before the ack — group-committed; interval syncs every
+// -wal-sync-interval; never leaves it to the OS). On boot the log
+// replays, truncating a torn tail and quarantining corrupt interior
+// segments; event IDs deduplicate retries, so every acknowledged event
+// is applied exactly once across crashes. Ingested events mark models
+// stale for the -rebuild-interval scheduler, which retrains on the
+// event-extended window and republishes atomically; /metrics gains
+// per-region drift gauges (live-window vs train-time AUC, event counts)
+// and WAL health series (backlog, size, fsync latency).
 //
 // Region-scoped GET endpoints take ?region=NAME; without it the first
 // shard answers, so single-region deployments are unchanged.
@@ -70,6 +85,7 @@ import (
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // multiFlag collects a repeatable string flag (-data a -data b).
@@ -101,6 +117,12 @@ func run() int {
 	metrics := flag.Bool("metrics", true, "expose the GET /metrics observability endpoint")
 	cacheMB := flag.Int64("cache-mb", serve.DefaultCacheBytes>>20, "response cache budget in MiB (encoded ranking/cohort/hotspot bodies)")
 	stateDir := flag.String("state-dir", "", "persist trained linear models here for warm restarts (empty = off)")
+	walDir := flag.String("wal-dir", "", "durable write-ahead event log root enabling POST /api/events (empty = off)")
+	walSync := flag.String("wal-sync", "always", "event log fsync policy: always (fsync before ack), interval, or never")
+	walSyncInterval := flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync=interval")
+	walSegmentMB := flag.Int64("wal-segment-mb", 8, "event log segment rotation threshold in MiB")
+	walMaxBacklogMB := flag.Int64("wal-max-backlog-mb", 16, "unsynced event-log backlog before ingest answers 429")
+	eventWindowDays := flag.Int("event-window-days", 366, "rolling live-event window for the drift gauges, in days")
 	maxInflight := flag.Int64("max-inflight", 0, "shed API requests past this many in flight with 503 (0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline on API routes, e.g. 30s (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for open connections to finish")
@@ -156,6 +178,27 @@ func run() int {
 	}
 	s.SetMaxInflight(*maxInflight)
 	s.SetRequestTimeout(*requestTimeout)
+	// The event log opens (and replays) before the state dir restores, so
+	// warm-restored models rank against the live event-extended pipeline
+	// and reproduce the ETags a retrain would.
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := s.SetEventLog(serve.EventLogConfig{
+			Dir:             *walDir,
+			Sync:            policy,
+			SyncInterval:    *walSyncInterval,
+			SegmentBytes:    *walSegmentMB << 20,
+			MaxBacklogBytes: *walMaxBacklogMB << 20,
+			WindowDays:      *eventWindowDays,
+		}); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
 	if err := s.SetStateDir(*stateDir); err != nil {
 		log.Print(err)
 		return 1

@@ -1,0 +1,49 @@
+package dataset
+
+// Renewal records a registry update: the pipe was replaced (or fully
+// rehabilitated) in Year, which resets its effective laid year. The
+// streaming-ingest path applies renewals alongside live failures when
+// rebuilding the training network.
+type Renewal struct {
+	PipeID string
+	Year   int
+}
+
+// ExtendLive derives a new Network from n with live events applied:
+// extra failures appended to the log and renewals applied to the
+// registry (LaidYear := Renewal.Year for each named pipe, in order).
+// The observation window's ObservedTo is extended to cover the latest
+// appended failure year, so the paper's default split retrains on the
+// freshest window and holds out the newest year.
+//
+// n is never mutated — pipes and failures are copied — and the result is
+// deterministic in (n, extra, renewals): the same inputs always produce
+// the same Network, which is what makes a replayed event log rebuild a
+// bit-identical model. Failures referencing unknown pipes and renewals
+// for absent pipes are kept/skipped respectively exactly as given;
+// callers wanting integrity guarantees run Validate on the result.
+func (n *Network) ExtendLive(extra []Failure, renewals []Renewal) *Network {
+	pipes := make([]Pipe, len(n.pipes))
+	copy(pipes, n.pipes)
+	if len(renewals) > 0 {
+		idx := make(map[string]int, len(pipes))
+		for i := range pipes {
+			idx[pipes[i].ID] = i
+		}
+		for _, r := range renewals {
+			if i, ok := idx[r.PipeID]; ok && r.Year > pipes[i].LaidYear {
+				pipes[i].LaidYear = r.Year
+			}
+		}
+	}
+	fails := make([]Failure, 0, len(n.failures)+len(extra))
+	fails = append(fails, n.failures...)
+	fails = append(fails, extra...)
+	to := n.ObservedTo
+	for i := range extra {
+		if extra[i].Year > to {
+			to = extra[i].Year
+		}
+	}
+	return NewNetwork(n.Region, n.ObservedFrom, to, pipes, fails)
+}

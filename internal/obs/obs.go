@@ -282,16 +282,20 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters[name] = c.Value()
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+		// A NaN or ±Inf gauge (a degenerate AUC, a 0/0 rate) would make
+		// the whole snapshot unencodable — encoding/json rejects
+		// non-finite floats — so it is folded to 0 here rather than
+		// taking /metrics down with it.
+		s.Gauges[name] = finiteOrZero(g.Value())
 	}
 	for name, h := range r.histograms {
 		hs := HistogramSnapshot{
 			Count:   h.Count(),
-			Sum:     h.Sum(),
+			Sum:     finiteOrZero(h.Sum()),
 			Buckets: make([]Bucket, len(h.counts)),
 		}
 		if hs.Count > 0 {
-			hs.Mean = hs.Sum / float64(hs.Count)
+			hs.Mean = finiteOrZero(hs.Sum / float64(hs.Count))
 		}
 		for i := range h.counts {
 			le := "+Inf"
@@ -303,6 +307,15 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = hs
 	}
 	return s
+}
+
+// finiteOrZero guards JSON encodability: encoding/json refuses NaN and
+// ±Inf, and one poisoned series must not break the metrics endpoint.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // WriteJSON writes the snapshot as indented JSON.

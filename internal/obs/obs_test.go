@@ -136,6 +136,39 @@ func TestSnapshotJSON(t *testing.T) {
 	}
 }
 
+// TestSnapshotSanitizesNonFinite locks the guard that keeps /metrics
+// alive when a series goes degenerate: encoding/json refuses NaN and
+// ±Inf, so Snapshot must fold them to 0 instead of poisoning the
+// whole endpoint.
+func TestSnapshotSanitizesNonFinite(t *testing.T) {
+	r := NewRegistry("nonfinite")
+	r.Gauge("nan").Set(math.NaN())
+	r.Gauge("posinf").Set(math.Inf(1))
+	r.Gauge("neginf").Set(math.Inf(-1))
+	r.Gauge("ok").Set(0.5)
+	r.Histogram("h", []float64{1}).Observe(math.Inf(1))
+
+	s := r.Snapshot()
+	for _, name := range []string{"nan", "posinf", "neginf"} {
+		if got := s.Gauges[name]; got != 0 {
+			t.Fatalf("gauge %q = %v, want 0", name, got)
+		}
+	}
+	if s.Gauges["ok"] != 0.5 {
+		t.Fatalf("finite gauge disturbed: %v", s.Gauges["ok"])
+	}
+	if hs := s.Histograms["h"]; hs.Sum != 0 || hs.Mean != 0 {
+		t.Fatalf("histogram Sum/Mean not sanitized: %+v", hs)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("snapshot with non-finite inputs must stay encodable: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("snapshot JSON invalid")
+	}
+}
+
 // TestSnapshotConcurrentWithUpdates exercises Snapshot racing against
 // registration and updates; meaningful under -race (make verify).
 func TestSnapshotConcurrentWithUpdates(t *testing.T) {

@@ -10,15 +10,18 @@ package serve
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"repro"
 	"repro/internal/parallel"
+	"repro/internal/wal"
 )
 
 // nopWriter discards the response body and reuses one header map across
@@ -181,5 +184,78 @@ func BenchmarkShardRebuildConcurrent(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.schedulerPass(true)
+	}
+}
+
+// benchEventsIngest drives POST /api/events through the handler with a
+// fresh single-event body per iteration. Run with a fixed -benchtime
+// iteration count (see make bench-ingest): the live overlays grow with
+// every accepted event, and the per-request drift scan is O(overlay), so
+// time-based auto-scaling would measure ever-larger windows.
+func benchEventsIngest(b *testing.B, sync wal.SyncPolicy) {
+	net, err := pipefail.GenerateRegion("A", 7, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(net, log.New(io.Discard, "", 0), pipefail.WithESGenerations(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SetEventLog(EventLogConfig{Dir: b.TempDir(), Sync: sync}); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.closeEventLogs)
+	pipes := s.def.net.Pipes()
+	year := s.def.net.ObservedTo + 1
+	// One checked warmup so a broken handler fails loudly instead of
+	// benchmarking an error path.
+	rec := httptest.NewRecorder()
+	s.handleEvents(rec, httptest.NewRequest("POST", "/api/events",
+		strings.NewReader(fmt.Sprintf(`{"id":"bench-warm","pipe_id":%q,"year":%d,"day":1}`, pipes[0].ID, year))))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body)
+	}
+	w := &nopWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"id":"bench-%d","pipe_id":%q,"year":%d,"day":%d}`,
+			i, pipes[i%len(pipes)].ID, year, i%366+1)
+		s.handleEvents(w, httptest.NewRequest("POST", "/api/events", strings.NewReader(body)))
+	}
+}
+
+func BenchmarkEventsIngestAlways(b *testing.B) { benchEventsIngest(b, wal.SyncAlways) }
+func BenchmarkEventsIngestNever(b *testing.B)  { benchEventsIngest(b, wal.SyncNever) }
+
+// BenchmarkEventsIngestBatch measures the NDJSON batch path: one
+// request carrying 100 events, amortizing decode, admission and fsync.
+func BenchmarkEventsIngestBatch(b *testing.B) {
+	net, err := pipefail.GenerateRegion("A", 7, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(net, log.New(io.Discard, "", 0), pipefail.WithESGenerations(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SetEventLog(EventLogConfig{Dir: b.TempDir(), Sync: wal.SyncAlways}); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.closeEventLogs)
+	pipes := s.def.net.Pipes()
+	year := s.def.net.ObservedTo + 1
+	w := &nopWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		for j := 0; j < 100; j++ {
+			fmt.Fprintf(&buf, "{\"id\":\"batch-%d-%d\",\"pipe_id\":%q,\"year\":%d,\"day\":%d}\n",
+				i, j, pipes[j%len(pipes)].ID, year, j%366+1)
+		}
+		req := httptest.NewRequest("POST", "/api/events", &buf)
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		s.handleEvents(w, req)
 	}
 }

@@ -192,7 +192,7 @@ func (s *Server) streamBulk(w http.ResponseWriter, r *http.Request, buf *bytes.B
 				s.metrics.bulkSegErrs.Inc()
 				continue
 			}
-			key = appendPlanKey(key[:0], model, cm, b)
+			key = appendPlanKey(key[:0], model, tm.etag, cm, b)
 			if e, ok := seg.sh.cache.Get(key); ok {
 				s.metrics.planCacheHits.Inc()
 				seg.entry = e
@@ -201,7 +201,7 @@ func (s *Server) streamBulk(w http.ResponseWriter, r *http.Request, buf *bytes.B
 		} else {
 			// Per-shard key: the canonical entry count clamps to each
 			// shard's own ranking length, exactly like the single path.
-			key = appendRankingKey(key[:0], model, len(tm.topEntries(top)))
+			key = appendRankingKey(key[:0], model, tm.etag, len(tm.topEntries(top)))
 			if e, ok := seg.sh.cache.Get(key); ok {
 				seg.entry = e
 				continue
@@ -282,7 +282,7 @@ func (s *Server) fillBulkSeg(ctx context.Context, seg *bulkSeg, model string, to
 			seg.errMsg = fmt.Sprintf("model %q has no calibrator; cannot price a plan", model)
 			s.metrics.bulkSegErrs.Inc()
 		} else {
-			key = appendPlanKey(key, model, cm, b)
+			key = appendPlanKey(key, model, tm.etag, cm, b)
 			if e, ok := seg.sh.cache.Get(key); ok {
 				s.metrics.planCacheHits.Inc()
 				seg.entry = e
@@ -299,7 +299,7 @@ func (s *Server) fillBulkSeg(ctx context.Context, seg *bulkSeg, model string, to
 			}
 		}
 	} else {
-		key = appendRankingKey(key, model, len(tm.topEntries(top)))
+		key = appendRankingKey(key, model, tm.etag, len(tm.topEntries(top)))
 		e, err := seg.sh.cache.GetOrFill(key, func() (respcache.Entry, error) {
 			body, err := encodeBody(tm.topEntries(top))
 			if err != nil {

@@ -80,8 +80,13 @@ func (s *Server) schedulerPass(force bool) {
 		if _, ok := models[def]; !ok {
 			targets = append(targets, rebuildTarget{sh, def})
 		}
+		// A snapshot is stale when it is old — or when live events have
+		// been ingested past the seq it trained at, so the streaming
+		// ingest path retrains on the next pass instead of a full age
+		// interval later.
+		seqNow := sh.eventSeqNow()
 		for name, tm := range models {
-			if force || now.Sub(tm.builtAt) >= s.schedInterval {
+			if force || now.Sub(tm.builtAt) >= s.schedInterval || tm.eventSeq < seqNow {
 				targets = append(targets, rebuildTarget{sh, name})
 			}
 		}

@@ -113,6 +113,10 @@ type Server struct {
 	// cannot silently bypass shedding.
 	routes []routeSpec
 
+	// eventsOn flips once SetEventLog wires the streaming-ingest WALs;
+	// POST /api/events answers 503 until then (see events.go).
+	eventsOn bool
+
 	// Rebuild scheduler state (see sched.go).
 	schedOn       atomic.Bool
 	schedInterval time.Duration
@@ -150,6 +154,12 @@ type serveMetrics struct {
 	stateQuarantined *obs.Counter // unreadable/stale state files set aside
 	bulkSegments  *obs.Counter // NDJSON lines written by the bulk endpoints
 	bulkSegErrs   *obs.Counter // bulk segments that became error lines
+	eventsAccepted       *obs.Counter // ingested events acknowledged durable
+	eventsDuplicates     *obs.Counter // ingested events absorbed by ID dedup
+	eventsRejected       *obs.Counter // ingest requests refused by validation
+	eventsBackpressure   *obs.Counter // ingest 429s from WAL backlog
+	eventsFailed         *obs.Counter // ingest 503s from WAL append/sync errors
+	eventsReplayRejected *obs.Counter // replayed records skipped by validation
 	schedPasses   *obs.Counter // rebuild-scheduler sweeps over the shards
 	schedRebuilds *obs.Counter // scheduled retrains started
 	schedFailures *obs.Counter // scheduled retrains that failed
@@ -177,6 +187,12 @@ func newServeMetrics() serveMetrics {
 		stateQuarantined: reg.Counter("serve.state.quarantined"),
 		bulkSegments:  reg.Counter("serve.bulk.segments"),
 		bulkSegErrs:   reg.Counter("serve.bulk.segment_errors"),
+		eventsAccepted:       reg.Counter("serve.events.accepted"),
+		eventsDuplicates:     reg.Counter("serve.events.duplicates"),
+		eventsRejected:       reg.Counter("serve.events.rejected"),
+		eventsBackpressure:   reg.Counter("serve.events.backpressure"),
+		eventsFailed:         reg.Counter("serve.events.failed"),
+		eventsReplayRejected: reg.Counter("serve.events.replay_rejected"),
 		schedPasses:   reg.Counter("serve.sched.passes"),
 		schedRebuilds: reg.Counter("serve.sched.rebuilds"),
 		schedFailures: reg.Counter("serve.sched.failures"),
@@ -294,6 +310,10 @@ func (s *Server) BeginShutdown() {
 		s.log.Printf("serve: draining: refusing new work, cancelling in-flight training")
 	}
 	s.cancelLifecycle()
+	// Seal the event logs after the drain flag flips: new ingest is
+	// already refused, and stragglers get ErrClosed → 503, never a lost
+	// acknowledgment.
+	s.closeEventLogs()
 }
 
 // Draining reports whether BeginShutdown has been called.
@@ -336,6 +356,7 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, "POST /api/plan", "plan", s.handlePlan, true)
 	s.handle(mux, "POST /api/bulk/rank", "bulkrank", s.handleBulkRank, true)
 	s.handle(mux, "POST /api/bulk/plan", "bulkplan", s.handleBulkPlan, true)
+	s.handle(mux, "POST /api/events", "events", s.handleEvents, true)
 	s.handle(mux, "GET /metrics", "metrics", s.handleMetrics, true)
 	return mux
 }
@@ -431,22 +452,32 @@ const bufPoolMax = 1 << 20
 var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
 // appendRankingKey renders the canonical ranking cache key: route,
-// model, clamped entry count. Shared by the single and bulk rank paths
-// so their cache entries always collide — a bulk segment replays the
-// exact bytes a single /ranking call cached, and vice versa.
-func appendRankingKey[T ~string | ~[]byte](key []byte, model T, entries int) []byte {
+// model, snapshot ETag, clamped entry count. Shared by the single and
+// bulk rank paths so their cache entries always collide — a bulk
+// segment replays the exact bytes a single /ranking call cached, and
+// vice versa. The snapshot's content ETag is part of the key because a
+// live-event retrain can republish the same model name with different
+// content: keying on identity makes the stale entry unreachable the
+// moment the new snapshot lands, while the bit-identical rebuilds the
+// scheduler normally produces keep the same key and stay warm.
+func appendRankingKey[T ~string | ~[]byte](key []byte, model T, etag string, entries int) []byte {
 	key = append(key, "ranking\x00"...)
 	key = append(key, model...)
+	key = append(key, 0)
+	key = append(key, etag...)
 	key = append(key, 0)
 	return strconv.AppendInt(key, int64(entries), 10)
 }
 
 // appendPlanKey renders the canonical plan cache key over decoded
 // values, so textual aliases of one request share an entry; shared by
-// the single and bulk plan paths.
-func appendPlanKey[T ~string | ~[]byte](key []byte, model T, cm plan.CostModel, b plan.Budget) []byte {
+// the single and bulk plan paths. Like appendRankingKey, the snapshot
+// ETag keys the entry to the published content, not just the name.
+func appendPlanKey[T ~string | ~[]byte](key []byte, model T, etag string, cm plan.CostModel, b plan.Budget) []byte {
 	key = append(key, "plan\x00"...)
 	key = append(key, model...)
+	key = append(key, 0)
+	key = append(key, etag...)
 	key = append(key, 0)
 	key = respcache.AppendKeyFloat(key, b.MaxLengthM)
 	key = append(key, 0)
@@ -592,9 +623,13 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		"network_km": sh.net.TotalLengthM() / 1000,
 	}
 	// The multi-shard body additionally lists the fleet; a single-shard
-	// server keeps the exact pre-shard shape.
+	// server keeps the exact pre-shard shape. Live-event counts appear
+	// only once ingest has seen traffic, preserving the pre-ingest body.
 	if len(s.shards) > 1 {
 		resp["regions"] = s.Regions()
+	}
+	if n := sh.eventSeqNow(); n > 0 {
+		resp["live_events"] = n
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -688,12 +723,21 @@ func (s *Server) runTrain(ctx context.Context, sh *shard, name string, job *trai
 // boundary; a successful pass is persisted to the state dir when one is
 // configured.
 func (s *Server) train(ctx context.Context, sh *shard, name string) (*modelSnapshot, error) {
+	// Train against the live pipeline: the base one when no events have
+	// been ingested (bit-identical to the pre-ingest server), otherwise
+	// one extended over the WAL-backed event overlays. The snapshot
+	// records the event seq it reflects so the scheduler can tell when
+	// newer events have made it stale.
+	pipe, seq, err := sh.trainPipeline()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	m, err := sh.pipe.TrainContext(ctx, name)
+	m, err := pipe.TrainContext(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
 	}
-	snap, err := s.snapshotModel(sh, name, m, time.Since(start).Seconds())
+	snap, err := s.snapshotModel(sh, pipe, seq, name, m, time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -702,12 +746,13 @@ func (s *Server) train(ctx context.Context, sh *shard, name string) (*modelSnaps
 	return snap, nil
 }
 
-// snapshotModel ranks a fitted model and freezes the serving snapshot —
-// shared by the training path and the warm-restart restore path, so a
-// restored model reproduces the exact rankings (and ETags) a fresh train
-// would have produced from the same weights.
-func (s *Server) snapshotModel(sh *shard, name string, m pipefail.Model, fitSeconds float64) (*modelSnapshot, error) {
-	ranking, err := sh.pipe.Rank(m)
+// snapshotModel ranks a fitted model against pipe and freezes the
+// serving snapshot at event seq — shared by the training path and the
+// warm-restart restore path, so a restored model reproduces the exact
+// rankings (and ETags) a fresh train would have produced from the same
+// weights over the same event sequence.
+func (s *Server) snapshotModel(sh *shard, pipe *pipefail.Pipeline, seq int64, name string, m pipefail.Model, fitSeconds float64) (*modelSnapshot, error) {
+	ranking, err := pipe.Rank(m)
 	if err != nil {
 		return nil, fmt.Errorf("training %q: %w", name, err)
 	}
@@ -720,7 +765,9 @@ func (s *Server) snapshotModel(sh *shard, name string, m pipefail.Model, fitSeco
 	} else {
 		calibrator = cal
 	}
-	return newModelSnapshot(name, m, ranking, calibrator, fitSeconds), nil
+	tm := newModelSnapshot(name, m, ranking, calibrator, fitSeconds)
+	tm.eventSeq = seq
+	return tm, nil
 }
 
 // writeGetErr maps a get() failure onto an HTTP status: naming an unknown
@@ -797,7 +844,7 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	// Canonical key: the clamped, re-rendered count, so top=050 and any
 	// top beyond the ranking length share one cache entry.
 	kp := keyPool.Get().(*[]byte)
-	key := appendRankingKey((*kp)[:0], name, len(entries))
+	key := appendRankingKey((*kp)[:0], name, tm.etag, len(entries))
 	e, err := sh.cache.GetOrFill(key, func() (respcache.Entry, error) {
 		body, err := encodeBody(entries)
 		if err != nil {
@@ -1088,7 +1135,7 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, buf *bytes.Bu
 	// Canonical key over decoded values, so textual aliases of one
 	// request ({"budget_km":5} vs {"budget_km":5.0}) share an entry.
 	kp := keyPool.Get().(*[]byte)
-	key := appendPlanKey((*kp)[:0], pf.model, cm, b)
+	key := appendPlanKey((*kp)[:0], pf.model, tm.etag, cm, b)
 
 	if e, ok := sh.cache.Get(key); ok {
 		*kp = key

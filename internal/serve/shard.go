@@ -31,6 +31,16 @@ type shard struct {
 	net    *pipefail.Network
 	pipe   *pipefail.Pipeline
 
+	// opts are the pipeline options the shard was built with, kept so
+	// live retrains (trainPipeline) rebuild with identical settings —
+	// same seed, same feature groups — which is what makes a replayed
+	// event log reproduce a bit-identical model.
+	opts []pipefail.PipelineOption
+
+	// ingest is the streaming-ingest state (WAL + live event overlays +
+	// drift gauges); nil until Server.SetEventLog wires it. See events.go.
+	ingest *ingestState
+
 	// cache holds this shard's encoded responses under its slice of the
 	// global budget; cacheName is kept so SetResponseCacheBytes can
 	// rebuild it under the same metric series.
@@ -69,6 +79,7 @@ func newShard(n *pipefail.Network, cacheName string, cacheBytes int64, opts ...p
 		region:          n.Region,
 		net:             n,
 		pipe:            p,
+		opts:            opts,
 		cache:           respcache.New(cacheName, cacheBytes, nil),
 		cacheName:       cacheName,
 		pending:         make(map[string]*trainJob),
@@ -187,6 +198,10 @@ type regionStatus struct {
 	ModelsTrained int     `json:"models_trained"`
 	CacheBytes    int64   `json:"cache_bytes"`
 	CacheEntries  int     `json:"cache_entries"`
+	// Streaming-ingest fields, present only when an event log is wired.
+	LiveEvents  int64 `json:"live_events,omitempty"`
+	WalSegments int   `json:"wal_segments,omitempty"`
+	WalBytes    int64 `json:"wal_bytes,omitempty"`
 }
 
 // handleRegions reports per-shard serving state: which regions this
@@ -203,6 +218,11 @@ func (s *Server) handleRegions(w http.ResponseWriter, _ *http.Request) {
 			ModelsTrained: len(*sh.models.Load()),
 			CacheBytes:    sh.cache.SizeBytes(),
 			CacheEntries:  sh.cache.Len(),
+		}
+		if ing := sh.ingest; ing != nil {
+			out[i].LiveEvents = sh.eventSeqNow()
+			out[i].WalSegments = ing.wal.Segments()
+			out[i].WalBytes = ing.wal.SizeBytes()
 		}
 	}
 	s.writeJSON(w, http.StatusOK, out)

@@ -150,6 +150,7 @@ func TestSheddableRouteList(t *testing.T) {
 		"POST /api/plan":                 true,
 		"POST /api/bulk/rank":            true,
 		"POST /api/bulk/plan":            true,
+		"POST /api/events":               true,
 		"GET /metrics":                   true,
 	}
 	if len(s.routes) != len(want) {

@@ -79,6 +79,11 @@ type modelSnapshot struct {
 	// uses it to decide staleness. It does not feed the ETag, so a
 	// deterministic retrain still reproduces the same validator.
 	builtAt time.Time
+
+	// eventSeq is the shard's live-event sequence this snapshot trained
+	// at (0 = base network only). The scheduler treats a shard whose
+	// ingest seq has advanced past it as stale, independent of age.
+	eventSeq int64
 }
 
 // planMemoMax bounds the distinct non-default cost models memoized per

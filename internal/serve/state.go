@@ -84,10 +84,29 @@ func (s *Server) saveModel(sh *shard, name string, m pipefail.Model) {
 	s.log.Printf("serve: persisted %s to %s", name, sh.statePath(name))
 }
 
-// writeModelFile writes the model atomically: encode into a temp file in
-// the shard's state dir, fsync, then rename over the final path. A crash
-// at any point leaves either the old complete file or none — never a
-// torn one.
+// syncDirFn fsyncs a directory; a seam so tests can assert the
+// directory sync actually happens on the persistence path.
+var syncDirFn = syncStateDir
+
+func syncStateDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeModelFile writes the model atomically and durably: encode into a
+// temp file in the shard's state dir, fsync the file, rename over the
+// final path, then fsync the directory — the rename itself lives in the
+// directory's metadata, so without the final sync a power loss could
+// resurface the old file (or none) even though the temp file's bytes
+// were safe. A crash at any point leaves either the old complete file
+// or the new complete file — never a torn one.
 func (s *Server) writeModelFile(sh *shard, name string, m pipefail.Model) error {
 	tmp, err := os.CreateTemp(sh.stateDir, name+".tmp-*")
 	if err != nil {
@@ -105,7 +124,10 @@ func (s *Server) writeModelFile(sh *shard, name string, m pipefail.Model) error 
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), sh.statePath(name))
+	if err := os.Rename(tmp.Name(), sh.statePath(name)); err != nil {
+		return err
+	}
+	return syncDirFn(sh.stateDir)
 }
 
 // restoreState loads every *.model.json in the shard's state dir into
@@ -152,7 +174,14 @@ func (s *Server) restoreModelFile(sh *shard, path, name string) error {
 	if !knownModel(name) {
 		return fmt.Errorf("unknown model kind %q", name)
 	}
-	want := sh.pipe.FeatureNames()
+	// Rank against the live pipeline (base + any WAL-replayed events) so
+	// the restored snapshot carries the ETag a retrain at the current
+	// event seq would produce; SetEventLog must run before SetStateDir.
+	pipe, seq, err := sh.trainPipeline()
+	if err != nil {
+		return err
+	}
+	want := pipe.FeatureNames()
 	if len(sm.FeatureNames) != len(want) {
 		return fmt.Errorf("saved with %d features, pipeline has %d", len(sm.FeatureNames), len(want))
 	}
@@ -161,7 +190,7 @@ func (s *Server) restoreModelFile(sh *shard, path, name string) error {
 			return fmt.Errorf("feature %d is %q, pipeline has %q", i, sm.FeatureNames[i], want[i])
 		}
 	}
-	snap, err := s.snapshotModel(sh, name, m, 0)
+	snap, err := s.snapshotModel(sh, pipe, seq, name, m, 0)
 	if err != nil {
 		return err
 	}

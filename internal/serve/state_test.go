@@ -153,3 +153,33 @@ func TestNonPersistableModelsNotSaved(t *testing.T) {
 		t.Fatal("skipping a non-persistable model counted as a save error")
 	}
 }
+
+// TestWriteModelFileSyncsStateDir pins the durability contract on the
+// save path: after the temp file renames into place, the state
+// directory itself is fsynced so the new directory entry survives a
+// power cut. The seam swap stands in for a real crash test.
+func TestWriteModelFileSyncsStateDir(t *testing.T) {
+	dir := t.TempDir()
+	var synced []string
+	orig := syncDirFn
+	syncDirFn = func(d string) error {
+		synced = append(synced, d)
+		return nil
+	}
+	t.Cleanup(func() { syncDirFn = orig })
+
+	s, ts := stateTestServer(t, dir)
+	if code := postJSON(t, ts.URL+"/api/models/RankSVM/train", nil, nil); code != 200 {
+		t.Fatalf("train status %d", code)
+	}
+	want := s.def.stateDir
+	found := false
+	for _, d := range synced {
+		if d == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("state dir %q never fsynced after rename (synced: %v)", want, synced)
+	}
+}

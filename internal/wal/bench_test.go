@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+var benchPayload = []byte(`{"id":"evt-000123","region":"metro","pipe_id":"P004217","segment":3,"year":2009,"day":211,"mode":"BREAK"}`)
+
+func benchAppend(b *testing.B, opts Options) {
+	dir := b.TempDir()
+	w, err := Open(dir, opts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end, err := w.Append(benchPayload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WaitDurable(end); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendAlways(b *testing.B) {
+	benchAppend(b, Options{Sync: SyncAlways, MetricsName: "wal.bench.always"})
+}
+
+func BenchmarkWALAppendInterval(b *testing.B) {
+	benchAppend(b, Options{Sync: SyncInterval, MetricsName: "wal.bench.interval"})
+}
+
+func BenchmarkWALAppendNever(b *testing.B) {
+	benchAppend(b, Options{Sync: SyncNever, MetricsName: "wal.bench.never"})
+}
+
+// BenchmarkWALAppendAlwaysParallel measures group-commit amortization:
+// many goroutines appending under SyncAlways should share fsyncs.
+func BenchmarkWALAppendAlwaysParallel(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Open(dir, Options{Sync: SyncAlways, MetricsName: "wal.bench.par"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			end, err := w.Append(benchPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.WaitDurable(end); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNever, MetricsName: "wal.bench.replaysrc"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 10000
+	for i := 0; i < records; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf(`{"id":"evt-%06d","pipe_id":"P%06d","year":2009,"day":%d,"mode":"LEAK"}`, i, i%5000, i%366+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	w.mu.Lock()
+	total = w.written
+	w.mu.Unlock()
+	b.SetBytes(total / records * records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		w2, err := Open(dir, Options{Sync: SyncNever, MetricsName: "wal.bench.replay"}, func(p []byte) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("replayed %d, want %d", n, records)
+		}
+		w2.Close()
+	}
+}

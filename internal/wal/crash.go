@@ -1,0 +1,142 @@
+package wal
+
+// Deterministic crash-point harness. Labeled points sit on the append,
+// rotate and sync paths; at each, one of two kill mechanisms can fire:
+//
+//   - Cross-process: the PIPEWAL_CRASH environment variable, formatted
+//     "<label>" or "<label>:<n>", calls os.Exit(137) on the n-th hit of
+//     the label (default first). Exit skips every deferred flush, so the
+//     process dies exactly as SIGKILL would — user-space buffers lost,
+//     whatever the OS had, kept. The e2e suite uses this to kill
+//     pipeserve mid-ingest and assert recovery invariants across a real
+//     process boundary.
+//
+//   - In-process: SetCrashHook installs a callback that returns an
+//     Action. Die* actions mark the log dead (every later call fails
+//     ErrCrashed, like writing to a dead process) after flushing a
+//     controlled amount of the user-space buffer — nothing, half, or all
+//     of it — which is how the chaos matrix manufactures clean-loss,
+//     torn-frame and durable-but-unacked tails deterministically. The
+//     same directory is then re-Opened to play the restarted process.
+//
+// The decision is label- and count-driven, never clock- or
+// randomness-driven, so a chaos run's crash schedule is reproducible.
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Crash-point labels.
+const (
+	// PointAppendEnter fires at the top of Append, before any bytes of
+	// the record exist anywhere.
+	PointAppendEnter = "append.enter"
+	// PointAppendFramed fires after the record is framed into the
+	// user-space buffer, before any durability work.
+	PointAppendFramed = "append.framed"
+	// PointRotate fires at the start of a segment rotation, before the
+	// old segment is sealed.
+	PointRotate = "rotate"
+	// PointSynced fires after an fsync completes but before the durable
+	// watermark moves — the crash-between-fsync-and-ack window.
+	PointSynced = "sync.acked"
+)
+
+// Action is an in-process crash hook's verdict at one point.
+type Action int
+
+const (
+	// Continue proceeds normally.
+	Continue Action = iota
+	// Die drops the whole user-space buffer and kills the log: the
+	// strictest SIGKILL model (nothing unflushed survives).
+	Die
+	// DieFlushHalf flushes half the buffered bytes first, leaving a torn
+	// frame on disk — the partially-paged-out crash.
+	DieFlushHalf
+	// DieFlushAll flushes the full buffer first (but does not fsync):
+	// the record may survive even though nobody was acknowledged.
+	DieFlushAll
+)
+
+// SetCrashHook installs an in-process crash hook on this log. Call
+// before the log sees traffic; a nil hook (the default) disables the
+// harness. The hook runs under the log's internal locks — it must not
+// call back into the WAL.
+func (w *WAL) SetCrashHook(h func(label string) Action) { w.crashHook = h }
+
+// envCrash holds the parsed PIPEWAL_CRASH trigger.
+var envCrash struct {
+	once  sync.Once
+	label string
+	n     int64
+	hits  atomic.Int64
+}
+
+// EnvVar is the environment variable naming the cross-process crash
+// trigger: "<label>" or "<label>:<n>".
+const EnvVar = "PIPEWAL_CRASH"
+
+func envCrashCheck(label string) {
+	envCrash.once.Do(func() {
+		v := os.Getenv(EnvVar)
+		if v == "" {
+			return
+		}
+		envCrash.label, envCrash.n = v, 1
+		if l, n, ok := strings.Cut(v, ":"); ok {
+			if c, err := strconv.Atoi(n); err == nil && c > 0 {
+				envCrash.label, envCrash.n = l, int64(c)
+			}
+		}
+	})
+	if envCrash.label != label {
+		return
+	}
+	if envCrash.hits.Add(1) == envCrash.n {
+		// Exit without flushing anything: the SIGKILL model.
+		os.Exit(137)
+	}
+}
+
+// pointLocked evaluates one crash point with w.mu held (the append and
+// rotate paths), applying the partial-flush semantics of the verdict.
+func (w *WAL) pointLocked(label string) error {
+	envCrashCheck(label)
+	if w.crashHook == nil {
+		return nil
+	}
+	act := w.crashHook(label)
+	if act == Continue {
+		return nil
+	}
+	switch act {
+	case DieFlushHalf:
+		if n := len(w.buf) / 2; n > 0 {
+			w.f.Write(w.buf[:n]) // best-effort: the process is "dying"
+		}
+	case DieFlushAll:
+		w.f.Write(w.buf)
+	}
+	w.buf = w.buf[:0]
+	w.dead.Store(true)
+	return ErrCrashed
+}
+
+// point evaluates a crash point outside w.mu (the sync path, where the
+// buffer is already flushed — any Die verdict just kills the log).
+func (w *WAL) point(label string) error {
+	envCrashCheck(label)
+	if w.crashHook == nil {
+		return nil
+	}
+	if w.crashHook(label) == Continue {
+		return nil
+	}
+	w.dead.Store(true)
+	return ErrCrashed
+}

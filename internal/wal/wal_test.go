@@ -1,0 +1,405 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// replayAll reopens dir and collects every replayed payload.
+func replayAll(t *testing.T, dir string, opts Options) ([][]byte, *WAL) {
+	t.Helper()
+	var got [][]byte
+	w, err := Open(dir, opts, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return got, w
+}
+
+func appendN(t *testing.T, w *WAL, n int, prefix string) [][]byte {
+	t.Helper()
+	var recs [][]byte
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf("%s-%04d-payload", prefix, i))
+		end, err := w.Append(p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if err := w.WaitDurable(end); err != nil {
+			t.Fatalf("WaitDurable %d: %v", i, err)
+		}
+		recs = append(recs, p)
+	}
+	return recs
+}
+
+func wantRecords(t *testing.T, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, w := replayAll(t, dir, Options{Sync: SyncAlways, MetricsName: "wal.test.rt"})
+	want := appendN(t, w, 25, "rt")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, w2 := replayAll(t, dir, Options{Sync: SyncAlways, MetricsName: "wal.test.rt"})
+	defer w2.Close()
+	wantRecords(t, got, want)
+	// The reopened log keeps appending after the recovered tail.
+	more := appendN(t, w2, 3, "rt2")
+	w2.Close()
+	got3, w3 := replayAll(t, dir, Options{Sync: SyncAlways, MetricsName: "wal.test.rt"})
+	defer w3.Close()
+	wantRecords(t, got3, append(append([][]byte(nil), want...), more...))
+}
+
+func TestRotationKeepsOrderAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record larger than ~64 bytes rotates.
+	opts := Options{Sync: SyncAlways, SegmentBytes: 64, MetricsName: "wal.test.rot"}
+	_, w := replayAll(t, dir, opts)
+	want := appendN(t, w, 10, "rot")
+	if w.Segments() < 3 {
+		t.Fatalf("expected rotation, got %d segments", w.Segments())
+	}
+	w.Close()
+	got, w2 := replayAll(t, dir, opts)
+	defer w2.Close()
+	wantRecords(t, got, want)
+}
+
+// tailPath returns the highest-numbered live segment.
+func tailPath(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), segSuffix) {
+			last = filepath.Join(dir, e.Name())
+		}
+	}
+	if last == "" {
+		t.Fatal("no segments")
+	}
+	return last
+}
+
+func TestTornTailTruncatedAtFirstBadFrame(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Sync: SyncAlways, MetricsName: "wal.test.torn"}
+	_, w := replayAll(t, dir, opts)
+	want := appendN(t, w, 8, "torn")
+	w.Close()
+
+	// Tear the tail mid-way through the final frame.
+	p := tailPath(t, dir)
+	st, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	got, w2 := replayAll(t, dir, opts)
+	wantRecords(t, got, want[:7])
+	// The log is append-ready at the truncation point.
+	more := appendN(t, w2, 1, "after")
+	w2.Close()
+	got2, w3 := replayAll(t, dir, opts)
+	defer w3.Close()
+	wantRecords(t, got2, append(append([][]byte(nil), want[:7]...), more...))
+}
+
+func TestBitFlippedTailDropsOnlySuffix(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Sync: SyncAlways, MetricsName: "wal.test.flip"}
+	_, w := replayAll(t, dir, opts)
+	want := appendN(t, w, 6, "flip")
+	w.Close()
+
+	// Flip one payload bit in the 4th record: records 0-2 must survive.
+	p := tailPath(t, dir)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(headerSize)
+	for i := 0; i < 3; i++ {
+		plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += frameHeaderSize + plen
+	}
+	data[off+frameHeaderSize+2] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, w2 := replayAll(t, dir, opts)
+	defer w2.Close()
+	wantRecords(t, got, want[:3])
+}
+
+func TestCorruptInteriorSegmentQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Sync: SyncAlways, SegmentBytes: 64, MetricsName: "wal.test.quar"}
+	_, w := replayAll(t, dir, opts)
+	want := appendN(t, w, 9, "quar")
+	segs := w.Segments()
+	if segs < 3 {
+		t.Fatalf("need >=3 segments, got %d", segs)
+	}
+	w.Close()
+
+	// Rot a payload bit in the second segment (interior).
+	p := filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, 2, segSuffix))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameHeaderSize+1] ^= 0x01
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, w2 := replayAll(t, dir, opts)
+	defer w2.Close()
+	// Segment 1's records and segments 3+'s records survive; segment 2
+	// contributes only its (empty) intact prefix before the flipped bit.
+	var wantAfter [][]byte
+	perSeg := make(map[int][][]byte)
+	// Reconstruct per-segment membership by replaying sizes: with
+	// 64-byte segments and ~15-byte payloads, 2 records fit per segment.
+	for i, r := range want {
+		perSeg[i/2+1] = append(perSeg[i/2+1], r)
+	}
+	wantAfter = append(wantAfter, perSeg[1]...)
+	for s := 3; s <= segs; s++ {
+		wantAfter = append(wantAfter, perSeg[s]...)
+	}
+	wantRecords(t, got, wantAfter)
+	if _, err := os.Stat(p + quarantineSuffix); err != nil {
+		t.Fatalf("expected quarantined segment: %v", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"always", Options{Sync: SyncAlways}},
+		{"interval", Options{Sync: SyncInterval, Interval: 5 * time.Millisecond}},
+		{"never", Options{Sync: SyncNever}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			tc.opts.MetricsName = "wal.test.pol." + tc.name
+			_, w := replayAll(t, dir, tc.opts)
+			want := appendN(t, w, 5, tc.name)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, w2 := replayAll(t, dir, tc.opts)
+			defer w2.Close()
+			wantRecords(t, got, want)
+		})
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	_, w := replayAll(t, dir, Options{Sync: SyncAlways, MetricsName: "wal.test.grp"})
+	const G, per = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				end, err := w.Append([]byte(fmt.Sprintf("g%d-%d", g, i)))
+				if err == nil {
+					err = w.WaitDurable(end)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := w.BacklogBytes(); got != 0 {
+		t.Fatalf("backlog after full durability = %d, want 0", got)
+	}
+	w.Close()
+	got, w2 := replayAll(t, dir, Options{Sync: SyncAlways, MetricsName: "wal.test.grp"})
+	defer w2.Close()
+	if len(got) != G*per {
+		t.Fatalf("replayed %d, want %d", len(got), G*per)
+	}
+}
+
+// TestCrashMatrix drives every labeled crash point with every die
+// action: after the simulated death and a reopen, every acknowledged
+// record must replay exactly once, in order, and the log must accept
+// new appends.
+func TestCrashMatrix(t *testing.T) {
+	labels := []string{PointAppendEnter, PointAppendFramed, PointSynced}
+	actions := []Action{Die, DieFlushHalf, DieFlushAll}
+	for _, label := range labels {
+		for _, act := range actions {
+			t.Run(fmt.Sprintf("%s/%d", label, act), func(t *testing.T) {
+				dir := t.TempDir()
+				opts := Options{Sync: SyncAlways, MetricsName: "wal.test.crash"}
+				_, w := replayAll(t, dir, opts)
+
+				acked := appendN(t, w, 5, "pre") // all acknowledged
+
+				// Arm: die on the second hit of the label, so the crash
+				// lands mid-stream of the post-arm appends.
+				hits := 0
+				w.SetCrashHook(func(l string) Action {
+					if l != label {
+						return Continue
+					}
+					hits++
+					if hits == 2 {
+						return act
+					}
+					return Continue
+				})
+				var lost int
+				for i := 0; i < 4; i++ {
+					end, err := w.Append([]byte(fmt.Sprintf("post-%d", i)))
+					if err == nil {
+						err = w.WaitDurable(end)
+					}
+					if err == nil {
+						acked = append(acked, []byte(fmt.Sprintf("post-%d", i)))
+						continue
+					}
+					if err != ErrCrashed {
+						t.Fatalf("append %d: %v", i, err)
+					}
+					lost++
+				}
+				if lost == 0 {
+					t.Fatal("crash point never fired")
+				}
+
+				got, w2 := replayAll(t, dir, opts)
+				defer w2.Close()
+				// Every acked record survives exactly once, as a prefix;
+				// unacked records may or may not follow (DieFlushAll can
+				// land a durable-but-unacked record), but never torn ones.
+				if len(got) < len(acked) {
+					t.Fatalf("replayed %d < %d acked records", len(got), len(acked))
+				}
+				wantRecords(t, got[:len(acked)], acked)
+				for _, extra := range got[len(acked):] {
+					if !bytes.HasPrefix(extra, []byte("post-")) {
+						t.Fatalf("unexpected surviving record %q", extra)
+					}
+				}
+				if _, err := w2.Append([]byte("after-restart")); err != nil {
+					t.Fatalf("append after recovery: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestRotateCrashRecovers(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Sync: SyncAlways, SegmentBytes: 64, MetricsName: "wal.test.rotcrash"}
+	_, w := replayAll(t, dir, opts)
+	acked := appendN(t, w, 3, "seed")
+	w.SetCrashHook(func(l string) Action {
+		if l == PointRotate {
+			return Die
+		}
+		return Continue
+	})
+	for i := 0; i < 4; i++ {
+		end, err := w.Append([]byte(fmt.Sprintf("r-%d", i)))
+		if err == nil {
+			err = w.WaitDurable(end)
+		}
+		if err == ErrCrashed {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, []byte(fmt.Sprintf("r-%d", i)))
+	}
+	got, w2 := replayAll(t, dir, opts)
+	defer w2.Close()
+	if len(got) < len(acked) {
+		t.Fatalf("replayed %d < %d acked", len(got), len(acked))
+	}
+	wantRecords(t, got[:len(acked)], acked)
+}
+
+func TestClosedAndOversizeErrors(t *testing.T) {
+	dir := t.TempDir()
+	_, w := replayAll(t, dir, Options{Sync: SyncNever, MetricsName: "wal.test.err"})
+	if _, err := w.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if _, err := w.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := w.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -45,6 +45,10 @@ type Failure = dataset.Failure
 // Split is a temporal train/test partition.
 type Split = dataset.Split
 
+// Renewal is a live registry update (pipe replaced in Year); see
+// Network.ExtendLive and the streaming-ingest path in internal/serve.
+type Renewal = dataset.Renewal
+
 // Model is the interface every ranker and baseline implements.
 type Model = core.Model
 
