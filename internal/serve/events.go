@@ -87,6 +87,10 @@ type ingestState struct {
 	// maxBacklog is the 429 admission bound on wal.BacklogBytes().
 	maxBacklog int64
 
+	// drainPending collapses backpressure-triggered background Syncs to
+	// at most one in flight.
+	drainPending atomic.Bool
+
 	// defModel names the model the drift gauges evaluate (the server's
 	// default model), resolved once at SetEventLog time.
 	defModel string
@@ -147,6 +151,10 @@ func (s *Server) SetEventLog(cfg EventLogConfig) error {
 			gWindowEvents: reg.Gauge("serve.shard." + token + ".window_events"),
 			gLiveEvents:   reg.Gauge("serve.shard." + token + ".live_events"),
 		}
+		// Wire the shard before replay: checkEvent's year-horizon ratchet
+		// reads sh.ingest, so replayed events must see the same bound
+		// growth they produced when accepted live.
+		sh.ingest = ing
 		w, err := wal.Open(dir, wal.Options{
 			SegmentBytes: cfg.SegmentBytes,
 			Sync:         cfg.Sync,
@@ -171,10 +179,10 @@ func (s *Server) SetEventLog(cfg EventLogConfig) error {
 			return nil
 		})
 		if err != nil {
+			sh.ingest = nil // never leave a shard pointing at a nil WAL
 			return err
 		}
 		ing.wal = w
-		sh.ingest = ing
 		ing.updateDrift(sh)
 		if n := ing.seq.Load(); n > 0 {
 			s.log.Printf("serve: region %s: replayed %d live events from %s", sh.region, n, dir)
@@ -227,6 +235,36 @@ func (ev *walEvent) normalize() {
 	}
 }
 
+// eventYearSlack is how far past the newest evidence a reported event
+// year may reach. Years must be bounded above: dataset.ExtendLive moves
+// ObservedTo to the newest failure year and feature.Builder.TrainSet
+// allocates rows for pipes × every year in the window, so one absurd
+// year (a typo like 20266 on an unauthenticated endpoint) would make
+// every subsequent retrain allocate thousands of years of rows per pipe
+// — and the poison record, durably logged, would replay on every boot.
+// The bound ratchets with applied events, so a live deployment keeps
+// reporting into the future one year at a time.
+const eventYearSlack = 1
+
+// maxEventYear is the inclusive upper bound on a reported event year:
+// the newest year the shard has evidence for — observation window end,
+// applied live events, or the wall clock — plus eventYearSlack. It only
+// ever grows, so an event accepted live is also accepted on replay.
+func (sh *shard) maxEventYear() int {
+	max := sh.net.ObservedTo
+	if y := time.Now().Year(); y > max {
+		max = y
+	}
+	if ing := sh.ingest; ing != nil {
+		ing.mu.Lock()
+		if y := (ing.maxDayIdx - 1) / 366; y > max {
+			max = y
+		}
+		ing.mu.Unlock()
+	}
+	return max + eventYearSlack
+}
+
 // checkEvent validates one normalized event against the shard's
 // registry; the returned error is client-visible (400).
 func (sh *shard) checkEvent(ev *walEvent) error {
@@ -249,6 +287,9 @@ func (sh *shard) checkEvent(ev *walEvent) error {
 		if ev.Year < p.LaidYear {
 			return fmt.Errorf("failure year %d precedes pipe %s laid year %d", ev.Year, p.ID, p.LaidYear)
 		}
+		if max := sh.maxEventYear(); ev.Year > max {
+			return fmt.Errorf("failure year %d beyond acceptance horizon %d", ev.Year, max)
+		}
 		if ev.Day < 1 || ev.Day > 366 {
 			return fmt.Errorf("day %d out of range [1,366]", ev.Day)
 		}
@@ -263,6 +304,9 @@ func (sh *shard) checkEvent(ev *walEvent) error {
 	case "renewal":
 		if ev.Year <= 0 {
 			return fmt.Errorf("renewal needs a positive year, got %d", ev.Year)
+		}
+		if max := sh.maxEventYear(); ev.Year > max {
+			return fmt.Errorf("renewal year %d beyond acceptance horizon %d", ev.Year, max)
 		}
 	default:
 		return fmt.Errorf("unknown event type %q", ev.Type)
@@ -435,10 +479,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// bytes without bound.
 	for _, sh := range order {
 		if b := sh.ingest.wal.BacklogBytes(); b > sh.ingest.maxBacklog {
+			// Kick one background drain before refusing: under
+			// -wal-sync=never the backlog otherwise only shrinks at
+			// segment rotation, and rotation needs appends — which
+			// backpressure is now refusing. Without the drain, a segment
+			// budget at or above the backlog budget would wedge ingest in
+			// permanent 429 until restart.
+			ing := sh.ingest
+			if ing.drainPending.CompareAndSwap(false, true) {
+				go func() {
+					defer ing.drainPending.Store(false)
+					_ = ing.wal.Sync()
+				}()
+			}
 			s.metrics.eventsBackpressure.Inc()
 			w.Header()["Retry-After"] = retryAfter1s
 			s.writeErr(w, http.StatusTooManyRequests,
-				"event log backlog %d bytes over budget %d; retry later", b, sh.ingest.maxBacklog)
+				"event log backlog %d bytes over budget %d; retry later", b, ing.maxBacklog)
 			return
 		}
 	}
@@ -528,8 +585,13 @@ func decodeEvents(r *http.Request) ([]walEvent, error) {
 			if len(text) == 0 {
 				continue
 			}
+			// Same strict schema as the single-object path: a misspelled
+			// field must be a 400, not a silently ignored key that routes
+			// the event to default values.
 			var ev walEvent
-			if err := json.Unmarshal(text, &ev); err != nil {
+			dec := json.NewDecoder(bytes.NewReader(text))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&ev); err != nil {
 				return nil, fmt.Errorf("line %d: %v", line, err)
 			}
 			events = append(events, ev)

@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/obs"
@@ -142,6 +143,8 @@ func TestEventsValidationRejectsWholeBatch(t *testing.T) {
 		{"bad type", map[string]any{"id": "x4", "pipe_id": p.ID, "year": year, "type": "party"}, "unknown event type"},
 		{"bad segment", map[string]any{"id": "x5", "pipe_id": p.ID, "year": year, "day": 1, "segment": 99999}, "segment"},
 		{"pre-window year", map[string]any{"id": "x6", "pipe_id": p.ID, "year": 1000, "day": 1}, "precedes"},
+		{"far-future year", map[string]any{"id": "x7", "pipe_id": p.ID, "year": 20266, "day": 1}, "beyond acceptance horizon"},
+		{"far-future renewal", map[string]any{"id": "x8", "type": "renewal", "pipe_id": p.ID, "year": 20266}, "beyond acceptance horizon"},
 	}
 	for _, tc := range cases {
 		var apiErr map[string]string
@@ -168,6 +171,133 @@ func TestEventsValidationRejectsWholeBatch(t *testing.T) {
 	}
 	if got := s.def.eventSeqNow(); got != 0 {
 		t.Fatalf("poisoned batch applied %d events", got)
+	}
+}
+
+// TestEventsYearHorizonRatchets locks the upper bound on event years:
+// max(ObservedTo, newest applied live year, wall-clock year) + slack.
+// Without it one absurd year (a typo on the unauthenticated endpoint)
+// would be durably logged and make every retrain allocate rows for
+// thousands of years per pipe.
+func TestEventsYearHorizonRatchets(t *testing.T) {
+	s, ts := newEventServer(t, t.TempDir(), EventLogConfig{Sync: wal.SyncAlways})
+	p := s.def.net.Pipes()[0]
+	// The generated network's window ends well in the past, so the wall
+	// clock dominates the initial horizon.
+	horizon := time.Now().Year() + eventYearSlack
+	var apiErr map[string]string
+	body := map[string]any{"id": "h-reject", "pipe_id": p.ID, "year": horizon + 1, "day": 1}
+	if code := postJSON(t, ts.URL+"/api/events", body, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 one year past the horizon", code)
+	}
+	if !strings.Contains(apiErr["error"], "beyond acceptance horizon") {
+		t.Fatalf("error %q should name the horizon", apiErr["error"])
+	}
+	// The horizon year itself is accepted — and acceptance ratchets the
+	// horizon, so the previously rejected year becomes reportable.
+	var resp eventsResponse
+	if code := postJSON(t, ts.URL+"/api/events", map[string]any{"id": "h-1", "pipe_id": p.ID, "year": horizon, "day": 1}, &resp); code != http.StatusOK {
+		t.Fatalf("horizon-year event rejected")
+	}
+	if code := postJSON(t, ts.URL+"/api/events", map[string]any{"id": "h-2", "pipe_id": p.ID, "year": horizon + 1, "day": 1}, &resp); code != http.StatusOK {
+		t.Fatalf("ratcheted-year event rejected")
+	}
+	if got := s.def.eventSeqNow(); got != 2 {
+		t.Fatalf("applied %d events, want 2", got)
+	}
+}
+
+// TestEventsReplaySkipsPoisonedYears proves an already-poisoned log
+// (a far-future record accepted before the horizon rule, or written by
+// hand) recovers on boot: replay skips the out-of-horizon record
+// instead of re-wedging every retrain forever.
+func TestEventsReplaySkipsPoisonedYears(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newEventServer(t, dir, EventLogConfig{Sync: wal.SyncAlways})
+	p := s1.def.net.Pipes()[0]
+	if code := postJSON(t, ts1.URL+"/api/events", eventBody(s1.def, "ok-1"), nil); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	s1.BeginShutdown()
+	ts1.Close()
+
+	// Poison the log out-of-band: a well-framed record with an absurd
+	// year, exactly what a pre-horizon server would have logged.
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways, MetricsName: "wal.test.poison"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := w.Append([]byte(fmt.Sprintf(`{"id":"poison-1","pipe_id":%q,"year":20266,"day":1,"mode":"BREAK"}`, p.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Default().Counter("serve.events.replay_rejected").Value()
+	s2, _ := newEventServer(t, dir, EventLogConfig{Sync: wal.SyncAlways})
+	if got := s2.def.eventSeqNow(); got != 1 {
+		t.Fatalf("replayed seq %d, want 1 (poison record must be skipped)", got)
+	}
+	if got := obs.Default().Counter("serve.events.replay_rejected").Value(); got != before+1 {
+		t.Fatalf("replay_rejected went %d -> %d, want exactly one skip", before, got)
+	}
+	if max := s2.def.maxEventYear(); max > time.Now().Year()+eventYearSlack {
+		t.Fatalf("acceptance horizon %d still poisoned after replay", max)
+	}
+}
+
+func TestEventsNDJSONRejectsUnknownFields(t *testing.T) {
+	s, ts := newEventServer(t, t.TempDir(), EventLogConfig{Sync: wal.SyncAlways})
+	p := s.def.net.Pipes()[0]
+	// "regon" misspells "region": it must be a 400 like on the single-
+	// object path, not a silently dropped key that routes the event to
+	// the default shard.
+	nd := fmt.Sprintf("{\"id\":\"u-1\",\"pipe_id\":%q,\"year\":%d,\"day\":1,\"regon\":\"B\"}\n", p.ID, s.def.net.ObservedTo+1)
+	resp, err := http.Post(ts.URL+"/api/events", "application/x-ndjson", strings.NewReader(nd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for an unknown field in a batch line", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "regon") {
+		t.Fatalf("error %s should name the unknown field", body)
+	}
+	if got := s.def.eventSeqNow(); got != 0 {
+		t.Fatalf("unknown-field batch applied %d events", got)
+	}
+}
+
+// TestEventsBackpressureDrainRecovers: a 429 must kick a background
+// drain. Under SyncNever the backlog otherwise only shrinks at segment
+// rotation, and rotation needs appends — which backpressure refuses —
+// so without the drain a segment budget >= the backlog budget wedges
+// ingest in permanent 429 until restart.
+func TestEventsBackpressureDrainRecovers(t *testing.T) {
+	s, ts := newEventServer(t, t.TempDir(), EventLogConfig{Sync: wal.SyncNever, MaxBacklogBytes: 1})
+	if code := postJSON(t, ts.URL+"/api/events", eventBody(s.def, "d-1"), nil); code != http.StatusOK {
+		t.Fatalf("first status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/events", eventBody(s.def, "d-2"), nil); code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status %d, want 429", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.def.ingest.wal.BacklogBytes() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("backpressure drain never cleared the backlog")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var resp eventsResponse
+	if code := postJSON(t, ts.URL+"/api/events", eventBody(s.def, "d-3"), &resp); code != http.StatusOK || resp.Accepted != 1 {
+		t.Fatalf("post-drain status %d resp %+v, want accepted", code, resp)
 	}
 }
 

@@ -73,6 +73,45 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	wantRecords(t, got3, append(append([][]byte(nil), want...), more...))
 }
 
+// TestSyncDuringConcurrentRotation: Sync captures the active file,
+// drops the lock, then fsyncs — a concurrent Append can rotate and
+// close that very file first. Rotation seals the segment (flush +
+// fsync) before closing it, so Sync must treat the resulting "file
+// already closed" as success (the durable watermark covers its
+// target), not surface a spurious error from a documented
+// safe-for-concurrent-use call.
+func TestSyncDuringConcurrentRotation(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 256, MetricsName: "wal.test.syncrot"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload := bytes.Repeat([]byte("x"), 64)
+		for i := 0; i < 1500; i++ {
+			if _, err := w.Append(payload); err != nil {
+				t.Errorf("Append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if err := w.Sync(); err != nil {
+				t.Fatalf("final Sync: %v", err)
+			}
+			return
+		default:
+			if err := w.Sync(); err != nil {
+				t.Fatalf("Sync during concurrent rotation: %v", err)
+			}
+		}
+	}
+}
+
 func TestRotationKeepsOrderAcrossSegments(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny segments: every record larger than ~64 bytes rotates.
